@@ -1,0 +1,24 @@
+"""Benchmark: single-task energy improvement over the all-GPU baseline.
+
+The paper reports 1.23x-2.15x energy efficiency gains alongside the Figure 8
+latency results; this bench isolates the energy column on a lighter subset of
+networks so it runs quickly.
+"""
+
+from repro.experiments import format_fig8, run_fig8
+
+
+def test_energy_single_task(benchmark, settings):
+    rows = benchmark.pedantic(
+        run_fig8,
+        args=(settings,),
+        kwargs={"networks": ["spikeflownet", "halsie", "dotie"]},
+        iterations=1,
+        rounds=1,
+    )
+    print("\n=== Energy: single-task energy gain over all-GPU ===")
+    print(format_fig8(rows))
+    for row in rows:
+        assert row["ev_edge_energy_gain"] > 1.0
+        # Energy and latency improvements move together.
+        assert row["ev_edge_speedup"] > 1.0

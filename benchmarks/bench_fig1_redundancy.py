@@ -1,0 +1,13 @@
+"""Benchmark: Figure 1 — event-frame occupancy and wasted operations."""
+
+from repro.experiments import format_fig1, run_fig1
+
+
+def test_fig1_redundancy(benchmark, settings):
+    result = benchmark(run_fig1, settings)
+    print("\n=== Figure 1: frame occupancy vs dense operations (Adaptive-SpikeNet, indoor_flying1) ===")
+    print(format_fig1(result))
+    # The paper's argument: event frames are extremely sparse, so the vast
+    # majority of dense operations are wasted.
+    assert result["mean_occupancy_percent"] < 30.0
+    assert result["wasted_operation_fraction"] > 0.5

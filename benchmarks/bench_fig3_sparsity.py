@@ -1,0 +1,15 @@
+"""Benchmark: Figure 3 — average event-frame occupancy per network."""
+
+from repro.experiments import format_fig3, run_fig3
+
+
+def test_fig3_sparsity(benchmark, settings):
+    rows = benchmark(run_fig3, settings)
+    print("\n=== Figure 3: average % events per event frame (MVSEC stand-in) ===")
+    print(format_fig3(rows))
+    by_network = {r["network"]: r["mean_occupancy_percent"] for r in rows}
+    # Occupancy falls as the temporal discretisation gets finer, and stays in
+    # the paper's 0.15 %-28.57 % band.
+    assert by_network["adaptive_spikenet"] < by_network["spikeflownet"] < by_network["evflownet"]
+    for value in by_network.values():
+        assert 0.05 <= value <= 30.0

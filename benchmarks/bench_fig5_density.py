@@ -1,0 +1,12 @@
+"""Benchmark: Figure 5 — temporal event density of indoor_flying2."""
+
+from repro.experiments import format_fig5, run_fig5
+
+
+def test_fig5_density(benchmark, settings):
+    result = benchmark(run_fig5, settings)
+    print("\n=== Figure 5: temporal event density (indoor_flying2 stand-in) ===")
+    print(format_fig5(result))
+    # The sequence must exhibit the large temporal variance that motivates DSFA.
+    assert result["peak_to_median_ratio"] > 2.0
+    assert result["coefficient_of_variation"] > 0.3

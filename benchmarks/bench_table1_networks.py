@@ -1,0 +1,13 @@
+"""Benchmark: Table 1 — network summary (layer counts vs the paper)."""
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_networks(benchmark):
+    rows = benchmark(run_table1)
+    print("\n=== Table 1: evaluated networks ===")
+    print(format_table1(rows))
+    # Every network's layer counts and SNN/ANN split match the paper exactly.
+    for row in rows:
+        assert row["layers_match"], row["network"]
+    assert len(rows) == 6

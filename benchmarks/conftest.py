@@ -1,0 +1,28 @@
+"""Shared settings for the benchmark harness.
+
+The benchmarks regenerate every figure/table of the paper's evaluation at a
+reduced spatial scale and duration so the whole suite completes in a few
+minutes; pass ``--full-scale`` to run at the paper's full DAVIS resolution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-scale",
+        action="store_true",
+        default=False,
+        help="run the benchmarks at full DAVIS 346x260 scale (slow)",
+    )
+
+
+@pytest.fixture(scope="session")
+def settings(request) -> ExperimentSettings:
+    if request.config.getoption("--full-scale"):
+        return ExperimentSettings(scale=1.0, duration=2.0, num_bins=10)
+    return ExperimentSettings(scale=0.2, duration=0.7, num_bins=10)

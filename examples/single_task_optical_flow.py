@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Single-task study: optical flow on a drone sequence (paper Figure 8 style).
+
+Runs Adaptive-SpikeNet through every optimization level of Ev-Edge on the
+indoor_flying1 stand-in, reports latency/energy per level, and also measures
+the flow accuracy of the surrogate estimator with and without the Ev-Edge
+precision/aggregation choices (paper Table 2 style).
+
+Run with:  python examples/single_task_optical_flow.py
+"""
+
+from repro.core import DSFAConfig, EvEdgeConfig, EvEdgePipeline, OptimizationLevel
+from repro.events import generate_sequence
+from repro.hw import jetson_xavier_agx
+from repro.models import build_network
+from repro.nn import Precision, TaskAccuracyEvaluator
+
+
+def main() -> None:
+    platform = jetson_xavier_agx()
+    network = build_network("adaptive_spikenet")
+    sequence = generate_sequence("indoor_flying1", scale=0.25, duration=1.0, seed=0)
+    dsfa = DSFAConfig(event_buffer_size=8, merge_bucket_size=4, inference_queue_depth=2)
+
+    print(f"network: {network.name} ({network.network_type}, {network.num_layers} layers, "
+          f"{network.total_macs / 1e9:.2f} GMACs)")
+    print(f"sequence: {sequence.name}, {len(sequence.events)} events")
+    print()
+
+    baseline_latency = None
+    for level in OptimizationLevel:
+        if level is OptimizationLevel.FULL:
+            # The full level needs an NMP mapping; reuse the experiment helper.
+            from repro.experiments.fig8_single_task import _single_task_nmp_mapping
+            from repro.experiments import ExperimentSettings
+
+            mapping = _single_task_nmp_mapping(network, platform, ExperimentSettings())
+        else:
+            mapping = None
+        config = EvEdgeConfig(num_bins=10, dsfa=dsfa, optimization=level)
+        report = EvEdgePipeline(network, platform, config, mapping=mapping).run(sequence)
+        if baseline_latency is None:
+            baseline_latency = report.mean_latency
+        print(f"{level.value:18s} latency {report.mean_latency * 1e3:8.2f} ms"
+              f"  energy {report.total_energy:7.2f} J"
+              f"  inferences {report.num_inferences:4d}"
+              f"  dropped {report.frames_dropped:3d}"
+              f"  speedup {baseline_latency / report.mean_latency:5.2f}x")
+
+    print()
+    print("accuracy impact (surrogate flow estimator, AEE in pixels; lower is better):")
+    evaluator = TaskAccuracyEvaluator("optical_flow", scale=0.2, num_intervals=4, seed=0)
+    baseline_aee = evaluator.baseline()
+    ev_edge_aee = evaluator.evaluate(
+        [Precision.FP16, Precision.INT8, Precision.FP16], merge_factor=2
+    )
+    print(f"  baseline (FP32, no merging): AEE = {baseline_aee:.3f}")
+    print(f"  Ev-Edge (mixed precision + DSFA merge): AEE = {ev_edge_aee:.3f}")
+    print(f"  degradation: {evaluator.degradation([Precision.FP16, Precision.INT8, Precision.FP16], merge_factor=2):.2%}")
+
+
+if __name__ == "__main__":
+    main()

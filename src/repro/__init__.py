@@ -1,0 +1,20 @@
+"""Ev-Edge reproduction: efficient execution of event-based vision algorithms
+on commodity edge platforms (DAC 2024).
+
+The package is organised as:
+
+* :mod:`repro.events`   — event camera substrate (DVS simulation, datasets, AER, noise)
+* :mod:`repro.frames`   — dense and sparse (COO) event frame representations
+* :mod:`repro.nn`       — neural network substrate (layers, graphs, SNN, quantization)
+* :mod:`repro.models`   — the six networks of the paper's Table 1
+* :mod:`repro.hw`       — heterogeneous edge platform model (Jetson Xavier AGX)
+* :mod:`repro.runtime`  — discrete-event execution engine and scheduling baselines
+* :mod:`repro.baselines`— dense all-GPU pipeline and static aggregation baselines
+* :mod:`repro.core`     — the paper's contribution: E2SF, DSFA and NMP
+* :mod:`repro.metrics`  — task accuracy metrics (AEE, mIOU, depth error)
+* :mod:`repro.experiments` — one module per paper figure/table
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,11 @@
+"""Baselines: dense all-GPU pipeline and static aggregation policies."""
+
+from .dense_pipeline import baseline_config, run_all_gpu_baseline
+from .static_agg import CountBasedAggregator, FixedIntervalAggregator
+
+__all__ = [
+    "baseline_config",
+    "run_all_gpu_baseline",
+    "CountBasedAggregator",
+    "FixedIntervalAggregator",
+]

@@ -1,0 +1,46 @@
+"""The all-GPU dense baseline pipeline (Figure 8's reference point).
+
+This is the conventional deployment: raw events are accumulated into dense
+event frames and every layer of the network runs on the GPU at full
+precision, with no sparsity exploitation, no dynamic aggregation and no
+cross-PE mapping.  It is expressed as an :class:`EvEdgeConfig` so the same
+simulator runs both the baseline and the optimised configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import EvEdgeConfig, OptimizationLevel
+from ..core.pipeline import EvEdgePipeline
+from ..events.datasets import EventSequence
+from ..hw.pe import Platform
+from ..nn.graph import LayerGraph
+from ..nn.quantization import Precision
+
+__all__ = ["baseline_config", "run_all_gpu_baseline"]
+
+
+def baseline_config(num_bins: int = 5, precision: Precision = Precision.FP32) -> EvEdgeConfig:
+    """Configuration of the all-GPU dense baseline."""
+    return EvEdgeConfig(
+        num_bins=num_bins,
+        baseline_precision=precision,
+        optimization=OptimizationLevel.BASELINE,
+    )
+
+
+def run_all_gpu_baseline(
+    network: LayerGraph,
+    platform: Platform,
+    sequence: EventSequence,
+    num_bins: int = 5,
+    precision: Precision = Precision.FP32,
+):
+    """Run the dense all-GPU pipeline over ``sequence`` and return its report."""
+    pipeline = EvEdgePipeline(
+        network=network,
+        platform=platform,
+        config=baseline_config(num_bins=num_bins, precision=precision),
+    )
+    return pipeline.run(sequence)

@@ -1,0 +1,78 @@
+"""Static frame aggregation baselines.
+
+Prior approaches ([7, 8] in the paper) construct event frames statically —
+either by counting a fixed number of events or by sampling at a fixed time
+interval — without considering the hardware processing rate.  These two
+policies are the points of comparison for DSFA's dynamic merging.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..events.types import EventStream
+from ..frames.sparse import SparseFrame
+
+__all__ = ["CountBasedAggregator", "FixedIntervalAggregator"]
+
+
+class CountBasedAggregator:
+    """Emit a sparse frame every ``events_per_frame`` events."""
+
+    def __init__(self, events_per_frame: int = 5000) -> None:
+        if events_per_frame < 1:
+            raise ValueError("events_per_frame must be >= 1")
+        self.events_per_frame = events_per_frame
+
+    def aggregate(self, stream: EventStream) -> List[SparseFrame]:
+        """Split ``stream`` into frames of a fixed event count."""
+        frames: List[SparseFrame] = []
+        geometry = stream.geometry
+        for start in range(0, len(stream), self.events_per_frame):
+            chunk = stream.slice_index(start, start + self.events_per_frame)
+            if len(chunk) == 0:
+                continue
+            frames.append(
+                SparseFrame.from_events(
+                    chunk.x,
+                    chunk.y,
+                    chunk.p,
+                    geometry.height,
+                    geometry.width,
+                    chunk.t_start,
+                    chunk.t_end,
+                )
+            )
+        return frames
+
+
+class FixedIntervalAggregator:
+    """Emit a sparse frame every ``interval`` seconds regardless of activity."""
+
+    def __init__(self, interval: float = 1.0 / 30.0) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+
+    def aggregate(self, stream: EventStream) -> List[SparseFrame]:
+        """Split ``stream`` into fixed-duration frames."""
+        frames: List[SparseFrame] = []
+        if len(stream) == 0:
+            return frames
+        geometry = stream.geometry
+        t = stream.t_start
+        while t < stream.t_end:
+            window = stream.slice_time(t, t + self.interval)
+            frames.append(
+                SparseFrame.from_events(
+                    window.x,
+                    window.y,
+                    window.p,
+                    geometry.height,
+                    geometry.width,
+                    t,
+                    t + self.interval,
+                )
+            )
+            t += self.interval
+        return frames

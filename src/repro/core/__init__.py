@@ -1,0 +1,53 @@
+"""Ev-Edge core: E2SF, DSFA and the Network Mapper, plus the integrated pipeline."""
+
+from .config import EvEdgeConfig, OptimizationLevel
+from .dsfa import (
+    BucketStatus,
+    DSFAConfig,
+    DynamicSparseFrameAggregator,
+    MergeBucket,
+    MergeMode,
+)
+from .e2sf import E2SFReport, Event2SparseFrameConverter
+from .nmp import (
+    Assignment,
+    ExecutionScheduler,
+    FitnessBreakdown,
+    FitnessEvaluator,
+    GenerationStats,
+    MappingCandidate,
+    NetworkMapper,
+    NMPConfig,
+    NMPResult,
+    RandomSearchMapper,
+    ScheduleResult,
+    ScheduledNode,
+)
+from .pipeline import EvEdgePipeline, InferenceRecord, PipelineReport
+
+__all__ = [
+    "Event2SparseFrameConverter",
+    "E2SFReport",
+    "DynamicSparseFrameAggregator",
+    "DSFAConfig",
+    "MergeBucket",
+    "MergeMode",
+    "BucketStatus",
+    "Assignment",
+    "MappingCandidate",
+    "ExecutionScheduler",
+    "ScheduleResult",
+    "ScheduledNode",
+    "FitnessEvaluator",
+    "FitnessBreakdown",
+    "NetworkMapper",
+    "NMPConfig",
+    "NMPResult",
+    "GenerationStats",
+    "RandomSearchMapper",
+    "EvEdgeConfig",
+    "OptimizationLevel",
+    "EvEdgePipeline",
+    "PipelineReport",
+    "InferenceRecord",
+]

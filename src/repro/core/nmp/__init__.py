@@ -1,0 +1,22 @@
+"""Network Mapper (NMP): evolutionary layer-to-PE mapping with precision search."""
+
+from .candidate import Assignment, MappingCandidate
+from .evolutionary import GenerationStats, NMPConfig, NMPResult, NetworkMapper
+from .objective import FitnessBreakdown, FitnessEvaluator
+from .random_search import RandomSearchMapper
+from .scheduler import ExecutionScheduler, ScheduledNode, ScheduleResult
+
+__all__ = [
+    "Assignment",
+    "MappingCandidate",
+    "ExecutionScheduler",
+    "ScheduleResult",
+    "ScheduledNode",
+    "FitnessEvaluator",
+    "FitnessBreakdown",
+    "NetworkMapper",
+    "NMPConfig",
+    "NMPResult",
+    "GenerationStats",
+    "RandomSearchMapper",
+]

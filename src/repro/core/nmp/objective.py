@@ -1,0 +1,130 @@
+"""Fitness evaluation for mapping candidates (paper Equation 2).
+
+The objective minimises the maximum task latency subject to every task's
+accuracy degradation staying below a threshold:
+
+    min  max_i Latency(T_i)
+    s.t. dA_1, dA_2, ..., dA_n <= dA
+
+Latency comes from the list scheduler (:mod:`.scheduler`); the accuracy
+degradation of a task is measured by quantizing its surrogate per the
+candidate's layer precisions and evaluating it on a sampled subset of the
+validation set (:class:`~repro.nn.accuracy.TaskAccuracyEvaluator`).
+Infeasible candidates are penalised proportionally to their constraint
+violation rather than rejected, which keeps the evolutionary search able to
+traverse the boundary of the feasible region.  Fitness values are cached per
+candidate, mirroring the paper's caching optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ...hw.pe import Platform
+from ...hw.profiler import ProfileTable
+from ...nn.accuracy import TaskAccuracyEvaluator, map_layer_precisions_to_stages
+from ...nn.graph import MultiTaskGraph
+from .candidate import MappingCandidate
+from .scheduler import ExecutionScheduler, ScheduleResult
+
+__all__ = ["FitnessBreakdown", "FitnessEvaluator"]
+
+
+@dataclass(frozen=True)
+class FitnessBreakdown:
+    """Everything the search needs to know about one evaluated candidate."""
+
+    fitness: float
+    max_task_latency: float
+    task_latencies: Dict[str, float]
+    degradations: Dict[str, float]
+    energy: float
+    feasible: bool
+
+
+class FitnessEvaluator:
+    """Evaluate candidates against Equation 2 with caching.
+
+    Parameters
+    ----------
+    graph, platform, profile:
+        The multi-task graph, the platform and its profiled latency table.
+    accuracy_evaluators:
+        Optional per-task :class:`TaskAccuracyEvaluator`; tasks without one
+        are treated as having zero degradation (useful to keep unit tests and
+        latency-only studies fast).
+    accuracy_threshold:
+        The per-task degradation bound ``dA``.
+    penalty_weight:
+        Latency-units of penalty per unit of constraint violation.
+    accuracy_subset:
+        Number of validation intervals sampled per accuracy evaluation (the
+        paper evaluates on a random subset to reduce search cost).
+    sparse:
+        Whether layers run on sparse inputs (E2SF enabled).
+    """
+
+    def __init__(
+        self,
+        graph: MultiTaskGraph,
+        platform: Platform,
+        profile: ProfileTable,
+        accuracy_evaluators: Optional[Dict[str, TaskAccuracyEvaluator]] = None,
+        accuracy_threshold: float = 0.05,
+        penalty_weight: float = 10.0,
+        accuracy_subset: Optional[int] = 2,
+        sparse: bool = True,
+    ) -> None:
+        if accuracy_threshold < 0:
+            raise ValueError("accuracy_threshold must be non-negative")
+        self.graph = graph
+        self.platform = platform
+        self.profile = profile
+        self.scheduler = ExecutionScheduler(platform, profile, sparse=sparse)
+        self.accuracy_evaluators = accuracy_evaluators or {}
+        self.accuracy_threshold = accuracy_threshold
+        self.penalty_weight = penalty_weight
+        self.accuracy_subset = accuracy_subset
+        self._cache: Dict[tuple, FitnessBreakdown] = {}
+        self.evaluations = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    def _task_degradation(self, candidate: MappingCandidate, task_name: str) -> float:
+        evaluator = self.accuracy_evaluators.get(task_name)
+        if evaluator is None:
+            return 0.0
+        layer_precisions = candidate.task_precisions(self.graph, task_name)
+        task = self.graph.task(task_name)
+        surrogate_stages = 3 if task.network.task != "object_tracking" else 2
+        stage_precisions = map_layer_precisions_to_stages(layer_precisions, surrogate_stages)
+        return evaluator.degradation(stage_precisions, subset=self.accuracy_subset)
+
+    def evaluate(self, candidate: MappingCandidate) -> FitnessBreakdown:
+        """Return (cached) fitness details for ``candidate``."""
+        key = candidate.key()
+        if key in self._cache:
+            self.cache_hits += 1
+            return self._cache[key]
+        self.evaluations += 1
+        result: ScheduleResult = self.scheduler.schedule(self.graph, candidate)
+        degradations = {
+            name: self._task_degradation(candidate, name) for name in self.graph.task_names
+        }
+        violation = sum(
+            max(d - self.accuracy_threshold, 0.0) for d in degradations.values()
+        )
+        feasible = violation == 0.0
+        latency = result.max_task_latency
+        fitness = latency * (1.0 + self.penalty_weight * violation)
+        breakdown = FitnessBreakdown(
+            fitness=fitness,
+            max_task_latency=latency,
+            task_latencies=dict(result.task_latencies),
+            degradations=degradations,
+            energy=result.energy,
+            feasible=feasible,
+        )
+        self._cache[key] = breakdown
+        return breakdown

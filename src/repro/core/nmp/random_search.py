@@ -1,0 +1,88 @@
+"""Random-search baseline for the Network Mapper (paper Figure 10b).
+
+Samples a fresh random population every generation (no selection, crossover
+or mutation) and tracks the best candidate seen, using exactly the same
+fitness evaluator as the evolutionary mapper so the comparison isolates the
+search strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...hw.pe import Platform
+from ...hw.profiler import ProfileTable
+from ...nn.accuracy import TaskAccuracyEvaluator
+from ...nn.graph import MultiTaskGraph
+from .candidate import MappingCandidate
+from .evolutionary import GenerationStats, NMPConfig, NMPResult
+from .objective import FitnessEvaluator
+
+__all__ = ["RandomSearchMapper"]
+
+
+class RandomSearchMapper:
+    """Uniform random sampling of mapping candidates."""
+
+    def __init__(
+        self,
+        graph: MultiTaskGraph,
+        platform: Platform,
+        profile: ProfileTable,
+        config: Optional[NMPConfig] = None,
+        accuracy_evaluators: Optional[Dict[str, TaskAccuracyEvaluator]] = None,
+        sparse: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.platform = platform
+        self.profile = profile
+        self.config = config or NMPConfig()
+        self.evaluator = FitnessEvaluator(
+            graph,
+            platform,
+            profile,
+            accuracy_evaluators=accuracy_evaluators,
+            accuracy_threshold=self.config.accuracy_threshold,
+            sparse=sparse,
+        )
+        self._rng = np.random.default_rng(self.config.seed)
+
+    def run(self) -> NMPResult:
+        """Sample ``generations x population_size`` candidates and keep the best."""
+        history: List[GenerationStats] = []
+        best_candidate = None
+        best_breakdown = None
+        for generation in range(self.config.generations):
+            population = [
+                MappingCandidate.random(
+                    self.graph,
+                    self.platform,
+                    self._rng,
+                    full_precision_only=self.config.full_precision_only,
+                )
+                for _ in range(self.config.population_size)
+            ]
+            evaluated = [(c, self.evaluator.evaluate(c)) for c in population]
+            evaluated.sort(key=lambda pair: pair[1].fitness)
+            gen_best_candidate, gen_best = evaluated[0]
+            if best_breakdown is None or gen_best.fitness < best_breakdown.fitness:
+                best_candidate, best_breakdown = gen_best_candidate.copy(), gen_best
+            history.append(
+                GenerationStats(
+                    generation=generation,
+                    best_fitness=best_breakdown.fitness,
+                    mean_fitness=float(np.mean([b.fitness for _, b in evaluated])),
+                    best_latency=best_breakdown.max_task_latency,
+                )
+            )
+        assert best_candidate is not None and best_breakdown is not None
+        return NMPResult(
+            best_candidate=best_candidate,
+            best_breakdown=best_breakdown,
+            history=history,
+            evaluations=self.evaluator.evaluations,
+            cache_hits=self.evaluator.cache_hits,
+        )

@@ -1,0 +1,159 @@
+"""List scheduling and latency estimation for mapping candidates.
+
+Implements the paper's Section 4.3.2: every device (plus the unified memory
+link used for inter-device transfers) gets an execution queue; nodes are
+serialised within their queues following the topological order of the
+multi-task graph; the end time of every node obeys
+
+    End_T(node) = max(End_T(parent_1) ... End_T(parent_N), CurDeviceQ_T)
+                  + Exec_T(node)                                     (Eq. 3)
+
+and the candidate's latency is the critical-path maximum of the end times.
+Data-transfer nodes are inserted automatically whenever a producer/consumer
+pair is mapped to different devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...hw.pe import Platform
+from ...hw.profiler import ProfileTable
+from ...nn.graph import MultiTaskGraph
+from .candidate import MappingCandidate
+
+__all__ = ["ScheduledNode", "ScheduleResult", "ExecutionScheduler"]
+
+_MEMORY_QUEUE = "unified_memory"
+
+
+@dataclass(frozen=True)
+class ScheduledNode:
+    """One entry of the execution timeline."""
+
+    node: str
+    queue: str
+    start: float
+    end: float
+    kind: str = "compute"  # "compute" or "transfer"
+
+    @property
+    def duration(self) -> float:
+        """Execution time of this entry."""
+        return self.end - self.start
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling one mapping candidate."""
+
+    timeline: List[ScheduledNode]
+    task_latencies: Dict[str, float]
+    energy: float
+
+    @property
+    def makespan(self) -> float:
+        """Critical-path latency across all tasks (max node end time)."""
+        if not self.timeline:
+            return 0.0
+        return max(entry.end for entry in self.timeline)
+
+    @property
+    def max_task_latency(self) -> float:
+        """The objective of Equation 2: the slowest task's latency."""
+        if not self.task_latencies:
+            return 0.0
+        return max(self.task_latencies.values())
+
+    def device_busy_time(self) -> Dict[str, float]:
+        """Total busy time per execution queue (for utilisation plots)."""
+        busy: Dict[str, float] = {}
+        for entry in self.timeline:
+            busy[entry.queue] = busy.get(entry.queue, 0.0) + entry.duration
+        return busy
+
+
+class ExecutionScheduler:
+    """Estimate the latency of a mapping candidate with per-device queues."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        profile: ProfileTable,
+        sparse: bool = False,
+    ) -> None:
+        self.platform = platform
+        self.profile = profile
+        self.sparse = sparse
+
+    # ------------------------------------------------------------------
+    def schedule(self, graph: MultiTaskGraph, mapping: MappingCandidate) -> ScheduleResult:
+        """Schedule every compute node of ``graph`` per ``mapping`` (Eq. 3)."""
+        queue_ready: Dict[str, float] = {pe.name: 0.0 for pe in self.platform}
+        queue_ready[_MEMORY_QUEUE] = 0.0
+        end_time: Dict[str, float] = {}
+        timeline: List[ScheduledNode] = []
+        task_latencies: Dict[str, float] = {name: 0.0 for name in graph.task_names}
+        total_energy = 0.0
+
+        for node in graph.nodes():
+            spec = graph.spec(node)
+            if not spec.kind.is_compute:
+                # Pseudo layers take no time; they simply forward their parents' end.
+                parents = graph.predecessors(node)
+                end_time[node] = max((end_time[p] for p in parents), default=0.0)
+                continue
+            assignment = mapping[node]
+            pe_name = assignment.pe
+            precision = assignment.precision
+
+            # Insert transfer nodes for parents mapped to a different device.
+            ready = 0.0
+            for parent in graph.predecessors(node):
+                parent_end = end_time.get(parent, 0.0)
+                parent_spec = graph.spec(parent)
+                if not parent_spec.kind.is_compute or parent not in mapping:
+                    ready = max(ready, parent_end)
+                    continue
+                parent_assignment = mapping[parent]
+                if parent_assignment.pe == pe_name:
+                    ready = max(ready, parent_end)
+                    continue
+                transfer_time = self.platform.transfer_time(
+                    parent_spec.output_bytes(parent_assignment.precision),
+                    parent_assignment.pe,
+                    pe_name,
+                )
+                start = max(parent_end, queue_ready[_MEMORY_QUEUE])
+                finish = start + transfer_time
+                queue_ready[_MEMORY_QUEUE] = finish
+                timeline.append(
+                    ScheduledNode(
+                        node=f"{parent}->{node}",
+                        queue=_MEMORY_QUEUE,
+                        start=start,
+                        end=finish,
+                        kind="transfer",
+                    )
+                )
+                ready = max(ready, finish)
+
+            use_sparse = self.sparse and self.profile.has(node, pe_name, precision, True)
+            entry = self.profile.lookup(node, pe_name, precision, use_sparse)
+            start = max(ready, queue_ready[pe_name])
+            finish = start + entry.latency
+            queue_ready[pe_name] = finish
+            end_time[node] = finish
+            total_energy += entry.energy
+            timeline.append(
+                ScheduledNode(node=node, queue=pe_name, start=start, end=finish)
+            )
+            task = graph.network_of(node)
+            task_latencies[task] = max(task_latencies[task], finish)
+
+        return ScheduleResult(
+            timeline=timeline,
+            task_latencies=task_latencies,
+            energy=total_energy,
+        )

@@ -1,0 +1,65 @@
+"""Event camera substrate: event types, DVS simulation, datasets and noise."""
+
+from .aer import (
+    decode_aer,
+    encode_aer,
+    load_aer,
+    save_aer,
+    stream_from_text,
+    stream_to_text,
+)
+from .camera import CameraOutput, DVSCamera, GrayscaleFrame
+from .datasets import (
+    DENSE_SEQUENCES,
+    MVSEC_SEQUENCES,
+    DatasetSpec,
+    EventSequence,
+    available_sequences,
+    generate_sequence,
+)
+from .noise import (
+    BackgroundActivityNoise,
+    EventDropNoise,
+    HotPixelNoise,
+    NoisePipeline,
+)
+from .synthetic import (
+    DrivingScene,
+    DroneFlightScene,
+    MovingBarsScene,
+    RotatingDiskScene,
+    SceneGroundTruth,
+    SceneSequence,
+)
+from .types import EventStream, SensorGeometry, concatenate_streams
+
+__all__ = [
+    "EventStream",
+    "SensorGeometry",
+    "concatenate_streams",
+    "DVSCamera",
+    "CameraOutput",
+    "GrayscaleFrame",
+    "MovingBarsScene",
+    "DroneFlightScene",
+    "DrivingScene",
+    "RotatingDiskScene",
+    "SceneSequence",
+    "SceneGroundTruth",
+    "EventSequence",
+    "DatasetSpec",
+    "generate_sequence",
+    "available_sequences",
+    "MVSEC_SEQUENCES",
+    "DENSE_SEQUENCES",
+    "BackgroundActivityNoise",
+    "HotPixelNoise",
+    "EventDropNoise",
+    "NoisePipeline",
+    "encode_aer",
+    "decode_aer",
+    "save_aer",
+    "load_aer",
+    "stream_to_text",
+    "stream_from_text",
+]

@@ -1,0 +1,194 @@
+"""DVS camera simulator.
+
+The paper's experiments use DAVIS sensors which emit (a) an asynchronous
+event stream and (b) synchronized grayscale frames.  We do not have the
+physical sensor, so this module implements the standard event camera pixel
+model: a pixel fires an event whenever the log intensity changes by more
+than the contrast threshold since the last event at that pixel
+(``||log I(t+1) - log I(t)|| >= theta``, Section 2 of the paper).
+
+:class:`DVSCamera` converts a sequence of intensity frames (produced by the
+scene generators in :mod:`repro.events.synthetic`) into an
+:class:`~repro.events.types.EventStream` plus the grayscale keyframes whose
+timestamps (``Tstart`` / ``Tend`` in the paper) anchor the Event2Sparse
+Frame converter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .types import EventStream, SensorGeometry
+
+__all__ = ["GrayscaleFrame", "DVSCamera", "CameraOutput"]
+
+_LOG_EPS = 1e-3
+
+
+@dataclass(frozen=True)
+class GrayscaleFrame:
+    """A synchronous grayscale (APS) frame emitted alongside the events."""
+
+    timestamp: float
+    image: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.image.ndim != 2:
+            raise ValueError("grayscale frames must be 2-D arrays")
+
+
+@dataclass
+class CameraOutput:
+    """Bundle of everything a DAVIS-style sensor produces for a sequence."""
+
+    events: EventStream
+    frames: List[GrayscaleFrame]
+
+    @property
+    def frame_timestamps(self) -> np.ndarray:
+        """Timestamps of the grayscale frames, in seconds."""
+        return np.array([f.timestamp for f in self.frames], dtype=np.float64)
+
+    def frame_pairs(self) -> List[Tuple[float, float]]:
+        """Return ``(Tstart, Tend)`` for every consecutive pair of frames."""
+        ts = self.frame_timestamps
+        return [(float(ts[i]), float(ts[i + 1])) for i in range(len(ts) - 1)]
+
+
+class DVSCamera:
+    """Simulated dynamic vision sensor.
+
+    Parameters
+    ----------
+    geometry:
+        Sensor resolution and thresholds.
+    interpolation_steps:
+        Number of linear sub-steps used between two consecutive intensity
+        frames when generating event timestamps.  More steps produce a
+        smoother (higher temporal resolution) event stream at the cost of
+        simulation time.
+    seed:
+        Seed for the small amount of timestamp jitter applied to break ties
+        between events generated in the same sub-step.
+    """
+
+    def __init__(
+        self,
+        geometry: Optional[SensorGeometry] = None,
+        interpolation_steps: int = 4,
+        seed: Optional[int] = None,
+    ) -> None:
+        if interpolation_steps < 1:
+            raise ValueError("interpolation_steps must be >= 1")
+        self.geometry = geometry or SensorGeometry()
+        self.interpolation_steps = interpolation_steps
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        intensity_frames: Sequence[np.ndarray],
+        timestamps: Sequence[float],
+    ) -> CameraOutput:
+        """Convert a sequence of intensity frames into events + APS frames.
+
+        Parameters
+        ----------
+        intensity_frames:
+            Sequence of ``(height, width)`` arrays of non-negative intensity.
+        timestamps:
+            Monotonically increasing timestamps (seconds), one per frame.
+        """
+        frames = [np.asarray(f, dtype=np.float64) for f in intensity_frames]
+        times = np.asarray(timestamps, dtype=np.float64)
+        if len(frames) != times.size:
+            raise ValueError("one timestamp per intensity frame is required")
+        if len(frames) < 2:
+            raise ValueError("at least two frames are needed to generate events")
+        h, w = self.geometry.height, self.geometry.width
+        for f in frames:
+            if f.shape != (h, w):
+                raise ValueError(
+                    f"frame shape {f.shape} does not match sensor {h}x{w}"
+                )
+        if np.any(np.diff(times) <= 0):
+            raise ValueError("timestamps must be strictly increasing")
+
+        theta = self.geometry.contrast_threshold
+        log_frames = [np.log(np.maximum(f, 0.0) + _LOG_EPS) for f in frames]
+
+        # Per-pixel memory of the log intensity at the last emitted event.
+        reference = log_frames[0].copy()
+        last_event_time = np.full((h, w), -np.inf)
+
+        xs, ys, ts, ps = self._generate_events(
+            log_frames, times, reference, last_event_time, theta
+        )
+
+        if xs:
+            events = EventStream(
+                np.concatenate(xs),
+                np.concatenate(ys),
+                np.concatenate(ts),
+                np.concatenate(ps),
+                self.geometry,
+            )
+        else:
+            events = EventStream.empty(self.geometry)
+
+        aps = [GrayscaleFrame(float(times[i]), frames[i]) for i in range(len(frames))]
+        return CameraOutput(events=events, frames=aps)
+
+    # ------------------------------------------------------------------
+    def _generate_events(
+        self,
+        log_frames: Sequence[np.ndarray],
+        times: np.ndarray,
+        reference: np.ndarray,
+        last_event_time: np.ndarray,
+        theta: float,
+    ):
+        """Core per-interval event generation loop."""
+        xs: List[np.ndarray] = []
+        ys: List[np.ndarray] = []
+        ts: List[np.ndarray] = []
+        ps: List[np.ndarray] = []
+        steps = self.interpolation_steps
+        refractory = self.geometry.refractory_period
+
+        for idx in range(len(log_frames) - 1):
+            start_log, end_log = log_frames[idx], log_frames[idx + 1]
+            t0, t1 = times[idx], times[idx + 1]
+            for s in range(1, steps + 1):
+                frac = s / steps
+                current = start_log * (1.0 - frac) + end_log * frac
+                t_mid = t0 + frac * (t1 - t0)
+                # Emit as many events per pixel as the log intensity has
+                # crossed multiples of theta since the reference level.
+                delta = current - reference
+                n_events = np.floor(np.abs(delta) / theta).astype(np.int64)
+                eligible = (t_mid - last_event_time) >= refractory
+                n_events = np.where(eligible, n_events, 0)
+                if not n_events.any():
+                    continue
+                yy, xx = np.nonzero(n_events)
+                counts = n_events[yy, xx]
+                pol = np.sign(delta[yy, xx]).astype(np.int8)
+                # Repeat pixels that crossed the threshold multiple times.
+                rep_x = np.repeat(xx, counts).astype(np.int32)
+                rep_y = np.repeat(yy, counts).astype(np.int32)
+                rep_p = np.repeat(pol, counts)
+                jitter = self._rng.uniform(0.0, (t1 - t0) / (steps * 4.0), rep_x.size)
+                rep_t = np.full(rep_x.size, t_mid, dtype=np.float64) + jitter
+                xs.append(rep_x)
+                ys.append(rep_y)
+                ts.append(rep_t)
+                ps.append(rep_p)
+                # Update the per-pixel reference to the nearest crossed level
+                # and the last event time.
+                reference[yy, xx] += pol * counts * theta
+                last_event_time[yy, xx] = t_mid
+        return xs, ys, ts, ps

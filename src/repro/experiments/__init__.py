@@ -1,0 +1,37 @@
+"""Experiment harnesses: one module per paper figure/table."""
+
+from .common import ExperimentSettings, format_table
+from .fig1_redundancy import format_fig1, run_fig1
+from .fig3_sparsity import NETWORK_BIN_COUNTS, format_fig3, run_fig3
+from .fig5_density import format_fig5, run_fig5
+from .fig8_single_task import NETWORK_SEQUENCES, format_fig8, run_fig8
+from .fig9_multi_task import MULTI_TASK_CONFIGS, format_fig9, run_fig9
+from .fig10_convergence import format_fig10, run_fig10
+from .table1_networks import format_table1, run_table1
+from .table2_accuracy import PAPER_TABLE2, TABLE2_NETWORKS, format_table2, run_table2
+
+__all__ = [
+    "ExperimentSettings",
+    "format_table",
+    "run_fig1",
+    "format_fig1",
+    "run_fig3",
+    "format_fig3",
+    "NETWORK_BIN_COUNTS",
+    "run_fig5",
+    "format_fig5",
+    "run_fig8",
+    "format_fig8",
+    "NETWORK_SEQUENCES",
+    "run_fig9",
+    "format_fig9",
+    "MULTI_TASK_CONFIGS",
+    "run_fig10",
+    "format_fig10",
+    "run_table1",
+    "format_table1",
+    "run_table2",
+    "format_table2",
+    "TABLE2_NETWORKS",
+    "PAPER_TABLE2",
+]

@@ -1,0 +1,67 @@
+"""Shared configuration and helpers for the experiment harnesses.
+
+Every experiment module exposes a ``run_*`` function returning plain
+dictionaries/lists (so the benchmark harness can print the same rows the
+paper reports) plus a ``format_*`` helper producing a human-readable table.
+The ``scale`` / ``duration`` knobs exist so that the benchmarks run in
+seconds instead of minutes while preserving the statistics the figures rely
+on; the defaults reproduce the full-size study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["ExperimentSettings", "format_table"]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Common knobs shared by the experiment harnesses.
+
+    Attributes
+    ----------
+    scale:
+        Spatial scale of the generated sequences (1.0 = full DAVIS 346x260).
+    duration:
+        Sequence duration in seconds.
+    num_bins:
+        E2SF bins per grayscale frame interval.
+    seed:
+        RNG seed for sequence generation and the searches.
+    network_resolution:
+        (height, width) at which the model-zoo networks are instantiated for
+        the platform simulation.
+    """
+
+    scale: float = 0.25
+    duration: float = 1.0
+    num_bins: int = 10
+    seed: int = 0
+    network_resolution: Sequence[int] = (260, 346)
+
+
+def format_table(rows: List[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Render a list of dicts as an aligned text table."""
+    if not rows:
+        return "(no data)"
+    widths = {c: len(c) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for c in columns:
+            value = row.get(c, "")
+            if isinstance(value, float):
+                text = f"{value:.3f}"
+            else:
+                text = str(value)
+            widths[c] = max(widths[c], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    separator = "  ".join("-" * widths[c] for c in columns)
+    lines = [header, separator]
+    for cells in rendered:
+        lines.append("  ".join(cell.ljust(widths[c]) for cell, c in zip(cells, columns)))
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Figure 10: NMP search convergence and comparison with random search.
+
+(a) the best fitness per generation of the evolutionary search on the mixed
+SNN-ANN configuration, showing latency and accuracy degradation being
+minimised simultaneously; (b) the latency of the configuration found by the
+evolutionary search versus random sampling of the same number of candidates
+(the paper reports the evolutionary result is 1.42x faster).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.nmp.evolutionary import NMPConfig, NetworkMapper
+from ..core.nmp.random_search import RandomSearchMapper
+from ..hw.jetson import jetson_xavier_agx
+from ..hw.pe import Platform
+from ..hw.profiler import PlatformProfiler
+from ..models.zoo import build_network
+from ..nn.graph import MultiTaskGraph, TaskSpec
+from .common import ExperimentSettings
+from .fig9_multi_task import MULTI_TASK_CONFIGS
+
+__all__ = ["run_fig10", "format_fig10"]
+
+
+def run_fig10(
+    settings: ExperimentSettings = ExperimentSettings(),
+    platform: Optional[Platform] = None,
+    config_name: str = "mixed_snn_ann",
+    nmp_config: Optional[NMPConfig] = None,
+) -> Dict[str, object]:
+    """Run the evolutionary and random searches on the mixed SNN-ANN config."""
+    platform = platform or jetson_xavier_agx()
+    networks = MULTI_TASK_CONFIGS[config_name]
+    graph = MultiTaskGraph(
+        [TaskSpec(build_network(name, *settings.network_resolution)) for name in networks]
+    )
+    profile = PlatformProfiler(platform).profile(graph, occupancy=0.1)
+    nmp_config = nmp_config or NMPConfig(population_size=20, generations=15, seed=settings.seed)
+
+    evolutionary = NetworkMapper(graph, platform, profile, nmp_config).run()
+    random_search = RandomSearchMapper(graph, platform, profile, nmp_config).run()
+
+    return {
+        "config": config_name,
+        "generations": nmp_config.generations,
+        "population_size": nmp_config.population_size,
+        "evolutionary_convergence": evolutionary.convergence,
+        "random_convergence": random_search.convergence,
+        "evolutionary_latency_ms": evolutionary.best_latency * 1e3,
+        "random_latency_ms": random_search.best_latency * 1e3,
+        "evolutionary_vs_random_speedup": random_search.best_latency / evolutionary.best_latency,
+        "evolutionary_evaluations": evolutionary.evaluations,
+        "evolutionary_cache_hits": evolutionary.cache_hits,
+    }
+
+
+def format_fig10(result: Dict[str, object]) -> str:
+    """Summarise the convergence curves and the final comparison."""
+    conv = result["evolutionary_convergence"]
+    rand = result["random_convergence"]
+    lines = [
+        f"configuration: {result['config']}  ({result['generations']} generations x "
+        f"{result['population_size']} candidates)",
+        f"evolutionary best fitness per generation: "
+        + " ".join(f"{v * 1e3:.2f}" for v in conv),
+        f"random-search best fitness per generation: "
+        + " ".join(f"{v * 1e3:.2f}" for v in rand),
+        f"final latency — evolutionary: {result['evolutionary_latency_ms']:.2f} ms, "
+        f"random: {result['random_latency_ms']:.2f} ms "
+        f"({result['evolutionary_vs_random_speedup']:.2f}x)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Figure 1: event-frame occupancy and wasted operations.
+
+The paper's Figure 1 motivates E2SF by showing, for Adaptive-SpikeNet on the
+MVSEC ``indoor_flying1`` sequence, the average percentage of pixels in an
+event frame that actually contain events next to the number of operations a
+dense implementation expends anyway.  This harness measures both quantities
+on the synthetic ``indoor_flying1`` stand-in: per-frame occupancy from the
+E2SF output and dense vs. event-proportional MAC counts from the
+Adaptive-SpikeNet layer graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.e2sf import Event2SparseFrameConverter
+from ..events.datasets import generate_sequence
+from ..models.zoo import build_adaptive_spikenet
+from .common import ExperimentSettings, format_table
+
+__all__ = ["run_fig1", "format_fig1"]
+
+
+def run_fig1(settings: ExperimentSettings = ExperimentSettings()) -> Dict[str, object]:
+    """Measure per-bin occupancy and dense vs. sparse operation counts."""
+    sequence = generate_sequence(
+        "indoor_flying1", scale=settings.scale, duration=settings.duration, seed=settings.seed
+    )
+    converter = Event2SparseFrameConverter(settings.num_bins)
+    occupancies: List[float] = []
+    total_events = 0
+    timestamps = sequence.frame_timestamps
+    for i in range(sequence.num_intervals):
+        frames = converter.convert(sequence.events, float(timestamps[i]), float(timestamps[i + 1]))
+        occupancies.extend(f.density for f in frames)
+        total_events += int(sum(f.num_events for f in frames))
+
+    network = build_adaptive_spikenet(*settings.network_resolution)
+    dense_macs = network.total_macs
+    sparse_macs = network.total_effective_macs
+    mean_occupancy = float(np.mean(occupancies)) if occupancies else 0.0
+
+    return {
+        "sequence": "indoor_flying1",
+        "network": network.name,
+        "num_frames": len(occupancies),
+        "mean_occupancy_percent": 100.0 * mean_occupancy,
+        "min_occupancy_percent": 100.0 * float(np.min(occupancies)) if occupancies else 0.0,
+        "max_occupancy_percent": 100.0 * float(np.max(occupancies)) if occupancies else 0.0,
+        "total_events": total_events,
+        "dense_gmacs_per_inference": dense_macs / 1e9,
+        "event_proportional_gmacs": sparse_macs / 1e9,
+        "wasted_operation_fraction": 1.0 - sparse_macs / dense_macs,
+    }
+
+
+def format_fig1(result: Dict[str, object]) -> str:
+    """Human-readable summary of the Figure 1 reproduction."""
+    rows = [
+        {"metric": "mean occupancy (%)", "value": result["mean_occupancy_percent"]},
+        {"metric": "min occupancy (%)", "value": result["min_occupancy_percent"]},
+        {"metric": "max occupancy (%)", "value": result["max_occupancy_percent"]},
+        {"metric": "dense GMACs / inference", "value": result["dense_gmacs_per_inference"]},
+        {"metric": "event-proportional GMACs", "value": result["event_proportional_gmacs"]},
+        {"metric": "wasted operation fraction", "value": result["wasted_operation_fraction"]},
+    ]
+    return format_table(rows, ["metric", "value"])

@@ -1,0 +1,45 @@
+"""Table 1: summary of the evaluated networks.
+
+The reproduction's model zoo instantiates each network as a layer graph; this
+harness checks the graph statistics against the counts the paper lists and
+reports both side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..models.zoo import table1_summary
+from .common import format_table
+
+__all__ = ["run_table1", "format_table1"]
+
+
+def run_table1() -> List[Dict[str, object]]:
+    """Model-zoo layer counts next to the paper's Table 1 values."""
+    rows = table1_summary()
+    for row in rows:
+        row["layers_match"] = (
+            row["layers"] == row["paper_layers"]
+            and row["snn_layers"] == row["paper_snn_layers"]
+            and row["ann_layers"] == row["paper_ann_layers"]
+        )
+    return rows
+
+
+def format_table1(rows: List[Dict[str, object]]) -> str:
+    """Render the Table 1 comparison."""
+    return format_table(
+        rows,
+        [
+            "network",
+            "task",
+            "type",
+            "layers",
+            "snn_layers",
+            "ann_layers",
+            "paper_layers",
+            "layers_match",
+            "total_gmacs",
+        ],
+    )

@@ -1,0 +1,375 @@
+"""Sparse frame representation (COO) used throughout Ev-Edge.
+
+The Event2Sparse Frame converter (paper Section 4.1) accumulates the events
+of one temporal bin into a *two-channel sparse frame*: for every active pixel
+it stores the row index, the column index and the accumulated positive and
+negative polarity counts — essentially the sparse Coordinate (COO) format.
+
+:class:`SparseFrame` is that representation plus the operations the Dynamic
+Sparse Frame Aggregator needs: element-wise add, average, batching
+(concatenation), density queries and conversion to/from dense arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SparseFrame", "SparseFrameBatch"]
+
+
+class SparseFrame:
+    """A two-channel (positive / negative polarity) sparse event frame.
+
+    Parameters
+    ----------
+    rows, cols:
+        Coordinates of the active pixels (unique pairs, any order).
+    pos, neg:
+        Accumulated positive / negative event counts per active pixel.
+    height, width:
+        Dense frame dimensions.
+    t_start, t_end:
+        Time interval covered by the events accumulated into this frame.
+
+    Notes
+    -----
+    Values are stored as float64 so that the ``cAverage`` merge mode (which
+    produces fractional counts) is exact.
+    """
+
+    __slots__ = ("rows", "cols", "pos", "neg", "height", "width", "t_start", "t_end")
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        pos: np.ndarray,
+        neg: np.ndarray,
+        height: int,
+        width: int,
+        t_start: float = 0.0,
+        t_end: float = 0.0,
+    ) -> None:
+        rows = np.asarray(rows, dtype=np.int32)
+        cols = np.asarray(cols, dtype=np.int32)
+        pos = np.asarray(pos, dtype=np.float64)
+        neg = np.asarray(neg, dtype=np.float64)
+        if not (rows.shape == cols.shape == pos.shape == neg.shape):
+            raise ValueError("rows, cols, pos, neg must have identical shapes")
+        if rows.ndim != 1:
+            raise ValueError("sparse frame columns must be one-dimensional")
+        if height <= 0 or width <= 0:
+            raise ValueError("frame dimensions must be positive")
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= height:
+                raise ValueError("row indices out of bounds")
+            if cols.min() < 0 or cols.max() >= width:
+                raise ValueError("column indices out of bounds")
+        self.rows = rows
+        self.cols = cols
+        self.pos = pos
+        self.neg = neg
+        self.height = int(height)
+        self.width = int(width)
+        self.t_start = float(t_start)
+        self.t_end = float(t_end)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(
+        cls, height: int, width: int, t_start: float = 0.0, t_end: float = 0.0
+    ) -> "SparseFrame":
+        """A sparse frame with no active pixels."""
+        zero = np.zeros(0)
+        return cls(zero, zero, zero, zero, height, width, t_start, t_end)
+
+    @classmethod
+    def from_events(
+        cls,
+        x: np.ndarray,
+        y: np.ndarray,
+        p: np.ndarray,
+        height: int,
+        width: int,
+        t_start: float = 0.0,
+        t_end: float = 0.0,
+    ) -> "SparseFrame":
+        """Accumulate raw event columns into a sparse frame.
+
+        Positive and negative polarities are accumulated separately per
+        pixel, exactly as E2SF specifies.
+        """
+        x = np.asarray(x, dtype=np.int64)
+        y = np.asarray(y, dtype=np.int64)
+        p = np.asarray(p)
+        if x.size == 0:
+            return cls.empty(height, width, t_start, t_end)
+        flat = y * width + x
+        unique_flat, inverse = np.unique(flat, return_inverse=True)
+        pos = np.bincount(inverse, weights=(p > 0).astype(np.float64), minlength=unique_flat.size)
+        neg = np.bincount(inverse, weights=(p < 0).astype(np.float64), minlength=unique_flat.size)
+        rows = (unique_flat // width).astype(np.int32)
+        cols = (unique_flat % width).astype(np.int32)
+        return cls(rows, cols, pos, neg, height, width, t_start, t_end)
+
+    @classmethod
+    def from_dense(
+        cls,
+        dense: np.ndarray,
+        t_start: float = 0.0,
+        t_end: float = 0.0,
+    ) -> "SparseFrame":
+        """Build a sparse frame from a dense ``(2, H, W)`` array.
+
+        Channel 0 is the positive-polarity plane, channel 1 the negative one.
+        This is the *encode* path whose overhead the paper argues against;
+        it exists so the overhead can be measured (see
+        :mod:`repro.frames.encoding`).
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 3 or dense.shape[0] != 2:
+            raise ValueError("expected a (2, H, W) dense frame")
+        _, h, w = dense.shape
+        active = (dense[0] != 0) | (dense[1] != 0)
+        rows, cols = np.nonzero(active)
+        return cls(
+            rows.astype(np.int32),
+            cols.astype(np.int32),
+            dense[0][rows, cols],
+            dense[1][rows, cols],
+            h,
+            w,
+            t_start,
+            t_end,
+        )
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_active(self) -> int:
+        """Number of active (non-zero) pixel locations."""
+        return int(self.rows.size)
+
+    @property
+    def num_events(self) -> float:
+        """Total accumulated event count (positive + negative)."""
+        return float(self.pos.sum() + self.neg.sum())
+
+    @property
+    def density(self) -> float:
+        """Fraction of pixels that are active — the paper's ``%events``."""
+        return self.num_active / float(self.height * self.width)
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the frame (seconds)."""
+        return max(self.t_end - self.t_start, 0.0)
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Dense-equivalent shape ``(2, H, W)``."""
+        return (2, self.height, self.width)
+
+    @property
+    def nnz_bytes(self) -> int:
+        """Memory footprint of the COO representation in bytes."""
+        # rows + cols as int32, pos + neg as float64
+        return self.num_active * (4 + 4 + 8 + 8)
+
+    @property
+    def dense_bytes(self) -> int:
+        """Memory footprint of the equivalent dense frame in bytes (float32)."""
+        return 2 * self.height * self.width * 4
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseFrame({self.height}x{self.width}, nnz={self.num_active}, "
+            f"density={self.density:.4%}, t=[{self.t_start:.4f}, {self.t_end:.4f}])"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseFrame):
+            return NotImplemented
+        return (
+            self.height == other.height
+            and self.width == other.width
+            and np.array_equal(self._canonical()[0], other._canonical()[0])
+            and np.allclose(self._canonical()[1], other._canonical()[1])
+        )
+
+    def _canonical(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (sorted flat indices, stacked values) for comparisons."""
+        flat = self.rows.astype(np.int64) * self.width + self.cols
+        order = np.argsort(flat)
+        values = np.stack([self.pos, self.neg], axis=1)
+        return flat[order], values[order]
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Decode into a dense ``(2, H, W)`` array."""
+        dense = np.zeros((2, self.height, self.width), dtype=np.float64)
+        np.add.at(dense[0], (self.rows, self.cols), self.pos)
+        np.add.at(dense[1], (self.rows, self.cols), self.neg)
+        return dense
+
+    def copy(self) -> "SparseFrame":
+        """Deep copy."""
+        return SparseFrame(
+            self.rows.copy(),
+            self.cols.copy(),
+            self.pos.copy(),
+            self.neg.copy(),
+            self.height,
+            self.width,
+            self.t_start,
+            self.t_end,
+        )
+
+    def scale(self, factor: float) -> "SparseFrame":
+        """Return a copy with all values multiplied by ``factor``."""
+        out = self.copy()
+        out.pos *= factor
+        out.neg *= factor
+        return out
+
+    def prune_zeros(self, tolerance: float = 0.0) -> "SparseFrame":
+        """Drop entries whose positive and negative values are both ~0."""
+        keep = (np.abs(self.pos) > tolerance) | (np.abs(self.neg) > tolerance)
+        return SparseFrame(
+            self.rows[keep],
+            self.cols[keep],
+            self.pos[keep],
+            self.neg[keep],
+            self.height,
+            self.width,
+            self.t_start,
+            self.t_end,
+        )
+
+    # ------------------------------------------------------------------
+    # merge operations (used by DSFA cAdd / cAverage)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def add(frames: Sequence["SparseFrame"]) -> "SparseFrame":
+        """Element-wise sum of several sparse frames (``cAdd`` mode)."""
+        frames = list(frames)
+        if not frames:
+            raise ValueError("cannot add an empty list of frames")
+        h, w = frames[0].height, frames[0].width
+        for f in frames[1:]:
+            if (f.height, f.width) != (h, w):
+                raise ValueError("all frames must share the same dimensions")
+        rows = np.concatenate([f.rows.astype(np.int64) for f in frames])
+        cols = np.concatenate([f.cols.astype(np.int64) for f in frames])
+        pos = np.concatenate([f.pos for f in frames])
+        neg = np.concatenate([f.neg for f in frames])
+        flat = rows * w + cols
+        unique_flat, inverse = np.unique(flat, return_inverse=True)
+        pos_sum = np.bincount(inverse, weights=pos, minlength=unique_flat.size)
+        neg_sum = np.bincount(inverse, weights=neg, minlength=unique_flat.size)
+        return SparseFrame(
+            (unique_flat // w).astype(np.int32),
+            (unique_flat % w).astype(np.int32),
+            pos_sum,
+            neg_sum,
+            h,
+            w,
+            min(f.t_start for f in frames),
+            max(f.t_end for f in frames),
+        )
+
+    @staticmethod
+    def average(frames: Sequence["SparseFrame"]) -> "SparseFrame":
+        """Element-wise average of several sparse frames (``cAverage`` mode)."""
+        frames = list(frames)
+        if not frames:
+            raise ValueError("cannot average an empty list of frames")
+        summed = SparseFrame.add(frames)
+        return summed.scale(1.0 / len(frames))
+
+    def density_change(self, other: "SparseFrame") -> float:
+        """Relative change in spatial density between ``self`` and ``other``.
+
+        DSFA uses this to decide whether an incoming frame may join an
+        existing merge bucket (the ``MdTh`` threshold).  Defined as
+        ``|d_self - d_other| / max(d_self, d_other)`` and 0 when both are
+        empty.
+        """
+        d1, d2 = self.density, other.density
+        top = abs(d1 - d2)
+        bottom = max(d1, d2)
+        if bottom == 0:
+            return 0.0
+        return top / bottom
+
+
+@dataclass
+class SparseFrameBatch:
+    """An ordered batch of sparse frames (the ``cBatch`` merge mode output).
+
+    The batch is what gets presented to the network as a multi-channel /
+    multi-timestep input: ``B`` sparse frames concatenated along a leading
+    batch dimension.
+    """
+
+    frames: List[SparseFrame] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.frames:
+            h, w = self.frames[0].height, self.frames[0].width
+            for f in self.frames[1:]:
+                if (f.height, f.width) != (h, w):
+                    raise ValueError("all frames in a batch must share dimensions")
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self):
+        return iter(self.frames)
+
+    def __getitem__(self, index: int) -> SparseFrame:
+        return self.frames[index]
+
+    @property
+    def t_start(self) -> float:
+        """Earliest start time in the batch."""
+        return min((f.t_start for f in self.frames), default=0.0)
+
+    @property
+    def t_end(self) -> float:
+        """Latest end time in the batch."""
+        return max((f.t_end for f in self.frames), default=0.0)
+
+    @property
+    def num_events(self) -> float:
+        """Total number of events across the batch."""
+        return float(sum(f.num_events for f in self.frames))
+
+    @property
+    def mean_density(self) -> float:
+        """Mean spatial density across the batch (0 for an empty batch)."""
+        if not self.frames:
+            return 0.0
+        return float(np.mean([f.density for f in self.frames]))
+
+    def to_dense(self) -> np.ndarray:
+        """Decode into a dense ``(B, 2, H, W)`` tensor."""
+        if not self.frames:
+            return np.zeros((0, 2, 0, 0))
+        return np.stack([f.to_dense() for f in self.frames], axis=0)
+
+    @staticmethod
+    def concatenate(batches: Sequence["SparseFrameBatch"]) -> "SparseFrameBatch":
+        """Concatenate several batches preserving order."""
+        frames: List[SparseFrame] = []
+        for b in batches:
+            frames.extend(b.frames)
+        return SparseFrameBatch(frames)

@@ -1,0 +1,207 @@
+"""Processing element and heterogeneous platform descriptions.
+
+Commodity edge platforms such as the NVIDIA Jetson Xavier AGX combine a CPU,
+a GPU and one or more deep learning accelerators (DLAs) behind a shared
+(unified) memory.  The paper profiles layer latency on each of these with
+TensorRT and power with Tegrastats; the reproduction models each processing
+element analytically (see :mod:`repro.hw.jetson` for the calibrated Xavier
+AGX numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..nn.layers import LayerSpec
+from ..nn.quantization import Precision
+
+__all__ = ["PEType", "ProcessingElement", "Platform"]
+
+
+class PEType(Enum):
+    """Kind of processing element."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    DLA = "dla"
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """One compute device of a heterogeneous edge platform.
+
+    Attributes
+    ----------
+    name:
+        Unique device name, e.g. ``"gpu"`` or ``"dla0"``.
+    pe_type:
+        CPU / GPU / DLA.
+    peak_macs_per_s:
+        Peak multiply-accumulates per second *at FP32 equivalent*; lower
+        precisions scale this up via :attr:`Precision.relative_throughput`
+        and :attr:`precision_scaling`.
+    memory_bandwidth:
+        Sustainable bytes/second from the shared DRAM for this device.
+    supported_precisions:
+        Precisions the device can execute (the Xavier DLA has no FP32 path).
+    supports_snn:
+        Whether the device can run custom spiking (LIF) ops.  TensorRT DLAs
+        only run a fixed operator set, so spiking layers must fall back to
+        GPU/CPU.
+    supports_sparse:
+        Whether sparse (COO / gather-scatter) kernels are available.
+    kernel_launch_overhead:
+        Fixed per-layer dispatch overhead in seconds.
+    active_power_w / idle_power_w:
+        Power draw while computing / idling, used by the energy model.
+    precision_scaling:
+        Extra per-device multiplier on top of the generic precision
+        throughput scaling (e.g. the DLA gains less from INT8 than the GPU's
+        tensor cores).
+    """
+
+    name: str
+    pe_type: PEType
+    peak_macs_per_s: float
+    memory_bandwidth: float
+    supported_precisions: Tuple[Precision, ...] = (
+        Precision.FP32,
+        Precision.FP16,
+        Precision.INT8,
+    )
+    supports_snn: bool = True
+    supports_sparse: bool = True
+    kernel_launch_overhead: float = 30e-6
+    active_power_w: float = 10.0
+    idle_power_w: float = 1.0
+    precision_scaling: Optional[Dict[Precision, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.peak_macs_per_s <= 0:
+            raise ValueError("peak_macs_per_s must be positive")
+        if self.memory_bandwidth <= 0:
+            raise ValueError("memory_bandwidth must be positive")
+        if not self.supported_precisions:
+            raise ValueError("a processing element must support at least one precision")
+
+    # ------------------------------------------------------------------
+    def supports_precision(self, precision: Precision) -> bool:
+        """True if the device can execute layers at ``precision``."""
+        return precision in self.supported_precisions
+
+    def supports_layer(self, layer: LayerSpec) -> bool:
+        """True if the device can execute ``layer`` at all."""
+        if layer.is_spiking and not self.supports_snn:
+            return False
+        return True
+
+    def effective_throughput(self, precision: Precision) -> float:
+        """Peak MACs/s at the given precision."""
+        if not self.supports_precision(precision):
+            raise ValueError(f"{self.name} does not support {precision.value}")
+        scale = precision.relative_throughput
+        if self.precision_scaling and precision in self.precision_scaling:
+            scale = self.precision_scaling[precision]
+        return self.peak_macs_per_s * scale
+
+    def lowest_supported_precision(self) -> Precision:
+        """The smallest-bit-width precision the device supports."""
+        return min(self.supported_precisions, key=lambda p: p.bits)
+
+    def highest_supported_precision(self) -> Precision:
+        """The largest-bit-width precision the device supports."""
+        return max(self.supported_precisions, key=lambda p: p.bits)
+
+
+class Platform:
+    """A heterogeneous edge platform: a set of PEs behind unified memory.
+
+    Parameters
+    ----------
+    name:
+        Platform name (e.g. ``"jetson-xavier-agx"``).
+    elements:
+        The processing elements.
+    unified_memory_bandwidth:
+        Bandwidth of the shared DRAM in bytes/second; inter-PE transfers go
+        through it (one write + one read).
+    transfer_latency:
+        Fixed software/driver latency per inter-PE transfer in seconds.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        elements: Sequence[ProcessingElement],
+        unified_memory_bandwidth: float = 137e9,
+        transfer_latency: float = 100e-6,
+    ) -> None:
+        if not elements:
+            raise ValueError("a platform needs at least one processing element")
+        names = [pe.name for pe in elements]
+        if len(set(names)) != len(names):
+            raise ValueError("processing element names must be unique")
+        if unified_memory_bandwidth <= 0:
+            raise ValueError("unified_memory_bandwidth must be positive")
+        self.name = name
+        self.elements = list(elements)
+        self.unified_memory_bandwidth = unified_memory_bandwidth
+        self.transfer_latency = transfer_latency
+        self._by_name = {pe.name: pe for pe in self.elements}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self):
+        return iter(self.elements)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def pe(self, name: str) -> ProcessingElement:
+        """Look up a processing element by name."""
+        if name not in self._by_name:
+            raise KeyError(f"unknown processing element '{name}'")
+        return self._by_name[name]
+
+    @property
+    def pe_names(self) -> List[str]:
+        """Names of all processing elements."""
+        return [pe.name for pe in self.elements]
+
+    def pes_of_type(self, pe_type: PEType) -> List[ProcessingElement]:
+        """All PEs of a given type."""
+        return [pe for pe in self.elements if pe.pe_type == pe_type]
+
+    def gpu(self) -> ProcessingElement:
+        """The first GPU (edge platforms have exactly one)."""
+        gpus = self.pes_of_type(PEType.GPU)
+        if not gpus:
+            raise RuntimeError(f"platform {self.name} has no GPU")
+        return gpus[0]
+
+    def candidates_for(self, layer: LayerSpec) -> List[ProcessingElement]:
+        """PEs that can execute ``layer``."""
+        return [pe for pe in self.elements if pe.supports_layer(layer)]
+
+    def transfer_time(self, num_bytes: int, src: str, dst: str) -> float:
+        """Time to move ``num_bytes`` of activations from PE ``src`` to ``dst``.
+
+        Same-device transfers are free.  Cross-device transfers go through
+        unified memory (write + read) plus a fixed synchronisation latency —
+        the approximation the paper uses since there is "no explicit method
+        to measure communication times between layers".
+        """
+        if src == dst:
+            return 0.0
+        if src not in self._by_name or dst not in self._by_name:
+            raise KeyError("unknown processing element in transfer")
+        if num_bytes <= 0:
+            return self.transfer_latency
+        return self.transfer_latency + 2.0 * num_bytes / self.unified_memory_bandwidth
+
+    def __repr__(self) -> str:
+        return f"Platform(name={self.name!r}, elements={self.pe_names})"

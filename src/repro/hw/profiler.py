@@ -1,0 +1,138 @@
+"""Offline profiling tables for the Network Mapper.
+
+"The individual execution time for each layer and the communication time
+between layers are measured on the hardware platform and recorded before the
+search process begins" (paper Section 4.3.2).  :class:`PlatformProfiler`
+produces exactly those tables from the analytic latency/energy models:
+
+* per (layer, device, precision) execution latency and energy, and
+* per (producer, consumer, device pair, precision) communication time.
+
+The Network Mapper, the round-robin baselines and the runtime executor all
+consume :class:`ProfileTable` rather than calling the models directly, so a
+user with access to a physical Jetson could drop in measured numbers without
+touching the search code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..nn.graph import MultiTaskGraph
+from ..nn.layers import LayerSpec
+from ..nn.quantization import Precision
+from .energy import EnergyModel
+from .latency import LatencyModel
+from .pe import Platform, ProcessingElement
+
+__all__ = ["ProfileEntry", "ProfileTable", "PlatformProfiler"]
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """Latency/energy of one layer on one device at one precision."""
+
+    latency: float
+    energy: float
+
+
+class ProfileTable:
+    """Lookup tables produced by :class:`PlatformProfiler`."""
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+        self._entries: Dict[Tuple[str, str, Precision, bool], ProfileEntry] = {}
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        node: str,
+        pe_name: str,
+        precision: Precision,
+        sparse: bool,
+        entry: ProfileEntry,
+    ) -> None:
+        """Store one profiled data point."""
+        self._entries[(node, pe_name, precision, sparse)] = entry
+
+    def lookup(
+        self, node: str, pe_name: str, precision: Precision, sparse: bool = False
+    ) -> ProfileEntry:
+        """Retrieve a profiled data point (raises ``KeyError`` if absent)."""
+        return self._entries[(node, pe_name, precision, sparse)]
+
+    def has(self, node: str, pe_name: str, precision: Precision, sparse: bool = False) -> bool:
+        """True if the combination was profiled (i.e. is executable)."""
+        return (node, pe_name, precision, sparse) in self._entries
+
+    def options(self, node: str) -> List[Tuple[str, Precision]]:
+        """All (device, precision) pairs profiled for a node (dense or sparse)."""
+        seen = []
+        for (n, pe_name, precision, _sparse) in self._entries:
+            if n == node and (pe_name, precision) not in seen:
+                seen.append((pe_name, precision))
+        return seen
+
+    def best_latency(self, node: str) -> float:
+        """Smallest profiled latency for a node across devices/precisions."""
+        values = [e.latency for (n, *_), e in self._entries.items() if n == node]
+        if not values:
+            raise KeyError(f"node '{node}' was not profiled")
+        return min(values)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class PlatformProfiler:
+    """Profile every layer of a multi-task graph on every capable device."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        latency_model: Optional[LatencyModel] = None,
+        energy_model: Optional[EnergyModel] = None,
+    ) -> None:
+        self.platform = platform
+        self.latency_model = latency_model or LatencyModel()
+        self.energy_model = energy_model or EnergyModel(self.latency_model)
+
+    def profile(
+        self,
+        graph: MultiTaskGraph,
+        sparse_modes: Iterable[bool] = (False, True),
+        occupancy: Optional[float] = None,
+    ) -> ProfileTable:
+        """Build the full profile table for ``graph`` on the platform.
+
+        ``occupancy`` optionally overrides the non-zero activation fraction
+        used for the sparse-mode entries (e.g. the measured density of the
+        incoming merged sparse frames).
+        """
+        table = ProfileTable(self.platform)
+        for node in graph.compute_nodes():
+            spec = graph.spec(node)
+            for pe in self.platform:
+                if not pe.supports_layer(spec):
+                    continue
+                for precision in pe.supported_precisions:
+                    for sparse in sparse_modes:
+                        if sparse and not pe.supports_sparse:
+                            continue
+                        latency = self.latency_model.layer_latency(
+                            spec, pe, precision, sparse=sparse, occupancy=occupancy
+                        ).total
+                        energy = self.energy_model.layer_energy(
+                            spec, pe, precision, sparse=sparse, occupancy=occupancy
+                        ).total
+                        table.record(
+                            node, pe.name, precision, sparse, ProfileEntry(latency, energy)
+                        )
+        return table
+
+    def communication_time(
+        self, producer: LayerSpec, precision: Precision, src: str, dst: str
+    ) -> float:
+        """Transfer time of ``producer``'s output activation from ``src`` to ``dst``."""
+        return self.platform.transfer_time(producer.output_bytes(precision), src, dst)

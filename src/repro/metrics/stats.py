@@ -1,0 +1,41 @@
+"""Small statistical helpers shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["geometric_mean", "relative_change", "summarize"]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the conventional way to average speedups)."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return float("nan")
+    if np.any(values <= 0):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def relative_change(baseline: float, value: float) -> float:
+    """``|value - baseline| / |baseline|`` (0 when the baseline is 0)."""
+    if baseline == 0:
+        return 0.0 if value == 0 else float("inf")
+    return abs(value - baseline) / abs(baseline)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Return min / max / mean / median / std of a sequence."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return {"min": float("nan"), "max": float("nan"), "mean": float("nan"),
+                "median": float("nan"), "std": float("nan")}
+    return {
+        "min": float(values.min()),
+        "max": float(values.max()),
+        "mean": float(values.mean()),
+        "median": float(np.median(values)),
+        "std": float(values.std()),
+    }

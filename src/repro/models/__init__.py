@@ -1,0 +1,29 @@
+"""Model zoo: layer-graph descriptions of the paper's six evaluated networks."""
+
+from .zoo import (
+    TABLE1_REFERENCE,
+    available_networks,
+    build_adaptive_spikenet,
+    build_dotie,
+    build_e2depth,
+    build_evflownet,
+    build_fusionflownet,
+    build_halsie,
+    build_network,
+    build_spikeflownet,
+    table1_summary,
+)
+
+__all__ = [
+    "available_networks",
+    "build_network",
+    "build_spikeflownet",
+    "build_fusionflownet",
+    "build_adaptive_spikenet",
+    "build_halsie",
+    "build_e2depth",
+    "build_dotie",
+    "build_evflownet",
+    "table1_summary",
+    "TABLE1_REFERENCE",
+]

@@ -1,0 +1,113 @@
+"""Leaky integrate-and-fire (LIF) neuron dynamics.
+
+The SNN and hybrid SNN-ANN networks of the paper (Spike-FlowNet,
+Fusion-FlowNet, Adaptive-SpikeNet, HALSIE, DOTIE) interleave convolutions
+with spiking neuron layers.  This module provides a functional numpy LIF
+implementation used by the surrogate networks and by the activation-sparsity
+statistics that drive the hardware model (spiking activations are binary and
+very sparse, which is why SNNs gain the most from Ev-Edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LIFParameters", "LIFState", "lif_step", "lif_run", "spike_rate"]
+
+
+@dataclass(frozen=True)
+class LIFParameters:
+    """Parameters of a leaky integrate-and-fire neuron population.
+
+    Attributes
+    ----------
+    threshold:
+        Membrane potential at which a spike is emitted.
+    leak:
+        Multiplicative decay applied to the membrane potential each timestep
+        (1.0 = perfect integrator, 0.0 = memoryless).
+    reset_mode:
+        ``"subtract"`` (soft reset, subtract the threshold) or ``"zero"``
+        (hard reset to 0) after a spike.
+    """
+
+    threshold: float = 1.0
+    leak: float = 0.9
+    reset_mode: str = "subtract"
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if not 0.0 <= self.leak <= 1.0:
+            raise ValueError("leak must be in [0, 1]")
+        if self.reset_mode not in ("subtract", "zero"):
+            raise ValueError("reset_mode must be 'subtract' or 'zero'")
+
+
+@dataclass
+class LIFState:
+    """Mutable state (membrane potential) of a LIF population."""
+
+    membrane: np.ndarray
+
+    @classmethod
+    def zeros(cls, shape: Tuple[int, ...]) -> "LIFState":
+        """Initial state with zero membrane potential everywhere."""
+        return cls(membrane=np.zeros(shape, dtype=np.float64))
+
+
+def lif_step(
+    state: LIFState, input_current: np.ndarray, params: LIFParameters
+) -> Tuple[np.ndarray, LIFState]:
+    """Advance the LIF dynamics by one timestep.
+
+    Returns ``(spikes, new_state)`` where ``spikes`` is a binary array of the
+    same shape as the input.
+    """
+    input_current = np.asarray(input_current, dtype=np.float64)
+    if input_current.shape != state.membrane.shape:
+        raise ValueError("input shape does not match the neuron population shape")
+    membrane = params.leak * state.membrane + input_current
+    spikes = (membrane >= params.threshold).astype(np.float64)
+    if params.reset_mode == "subtract":
+        membrane = membrane - spikes * params.threshold
+    else:
+        membrane = np.where(spikes > 0, 0.0, membrane)
+    return spikes, LIFState(membrane=membrane)
+
+
+def lif_run(
+    inputs: Sequence[np.ndarray],
+    params: Optional[LIFParameters] = None,
+    state: Optional[LIFState] = None,
+) -> Tuple[List[np.ndarray], LIFState]:
+    """Run the LIF dynamics over a sequence of input currents.
+
+    Returns the list of per-timestep spike maps and the final state.
+    """
+    params = params or LIFParameters()
+    inputs = [np.asarray(x, dtype=np.float64) for x in inputs]
+    if not inputs:
+        raise ValueError("at least one timestep of input is required")
+    if state is None:
+        state = LIFState.zeros(inputs[0].shape)
+    spikes: List[np.ndarray] = []
+    for current in inputs:
+        out, state = lif_step(state, current, params)
+        spikes.append(out)
+    return spikes, state
+
+
+def spike_rate(spikes: Sequence[np.ndarray]) -> float:
+    """Fraction of neurons spiking, averaged over timesteps.
+
+    ``1 - spike_rate`` is the activation sparsity the hardware model uses to
+    scale the effective work of SNN layers.
+    """
+    spikes = list(spikes)
+    if not spikes:
+        return 0.0
+    return float(np.mean([np.mean(s) for s in spikes]))

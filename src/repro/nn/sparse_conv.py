@@ -1,0 +1,154 @@
+"""Sparse convolution over COO sparse frames.
+
+E2SF's output feeds "sparse libraries" ([6] in the paper — submanifold
+sparse convolutions).  This module implements:
+
+* :func:`sparse_conv2d` — a gather-scatter convolution that touches only the
+  active sites of a :class:`~repro.frames.sparse.SparseFrame`, returning the
+  dense result (for correctness checks) and the number of multiply-accumulate
+  operations actually performed;
+* :func:`submanifold_conv2d` — the variant that restricts output sites to the
+  input's active sites (keeping sparsity constant through the network);
+* :func:`dense_conv2d_macs` — the dense MAC count for the same geometry, so
+  the work saving can be reported (paper Figure 1's "operations expended").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..frames.sparse import SparseFrame
+
+__all__ = [
+    "sparse_conv2d",
+    "submanifold_conv2d",
+    "dense_conv2d",
+    "dense_conv2d_macs",
+    "sparse_conv2d_macs",
+]
+
+
+def _check_weights(weights: np.ndarray) -> Tuple[int, int, int]:
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 4:
+        raise ValueError("weights must have shape (C_out, C_in, K, K)")
+    c_out, c_in, kh, kw = weights.shape
+    if kh != kw:
+        raise ValueError("only square kernels are supported")
+    if kh % 2 == 0:
+        raise ValueError("only odd kernel sizes are supported")
+    return c_out, c_in, kh
+
+
+def dense_conv2d(
+    activation: np.ndarray, weights: np.ndarray, stride: int = 1
+) -> np.ndarray:
+    """Reference dense 2-D convolution (same padding, given stride).
+
+    ``activation`` is ``(C_in, H, W)``; returns ``(C_out, H//stride, W//stride)``.
+    Implemented with explicit loops over kernel offsets (vectorised over the
+    spatial grid), which is plenty fast for the small surrogate networks.
+    """
+    activation = np.asarray(activation, dtype=np.float64)
+    if activation.ndim != 3:
+        raise ValueError("activation must have shape (C_in, H, W)")
+    c_out, c_in, k = _check_weights(weights)
+    if activation.shape[0] != c_in:
+        raise ValueError("activation channel count does not match weights")
+    _, h, w = activation.shape
+    pad = k // 2
+    padded = np.pad(activation, ((0, 0), (pad, pad), (pad, pad)))
+    out = np.zeros((c_out, h, w), dtype=np.float64)
+    for dy in range(k):
+        for dx in range(k):
+            window = padded[:, dy : dy + h, dx : dx + w]
+            # (C_out, C_in) x (C_in, H, W) contracted over C_in
+            out += np.tensordot(weights[:, :, dy, dx], window, axes=([1], [0]))
+    if stride > 1:
+        out = out[:, ::stride, ::stride]
+    return out
+
+
+def dense_conv2d_macs(
+    height: int, width: int, c_in: int, c_out: int, kernel_size: int, stride: int = 1
+) -> int:
+    """MAC count of the dense convolution for the given geometry."""
+    out_h, out_w = height // stride, width // stride
+    return out_h * out_w * c_in * c_out * kernel_size * kernel_size
+
+
+def sparse_conv2d_macs(nnz: int, c_in: int, c_out: int, kernel_size: int) -> int:
+    """MAC count of a gather-scatter sparse convolution with ``nnz`` active sites."""
+    return nnz * c_in * c_out * kernel_size * kernel_size
+
+
+def sparse_conv2d(
+    frame: SparseFrame,
+    weights: np.ndarray,
+    stride: int = 1,
+) -> Tuple[np.ndarray, int]:
+    """Convolve a two-channel sparse frame, doing work only at active sites.
+
+    Returns ``(dense_output, macs_performed)``.  The output is dense (each
+    active input site scatters into a K x K neighbourhood) but the arithmetic
+    cost is proportional to the number of active sites, which is the point of
+    E2SF.
+    """
+    c_out, c_in, k = _check_weights(weights)
+    if c_in != 2:
+        raise ValueError("sparse frames have exactly two channels (pos / neg polarity)")
+    h, w = frame.height, frame.width
+    pad = k // 2
+    out = np.zeros((c_out, h + 2 * pad, w + 2 * pad), dtype=np.float64)
+    values = np.stack([frame.pos, frame.neg], axis=0)  # (2, nnz)
+    rows = frame.rows + pad
+    cols = frame.cols + pad
+    # contribution of each active site to each kernel offset
+    # (C_out, 2) @ (2, nnz) -> (C_out, nnz) per offset.  The kernel indices are
+    # flipped so the scatter formulation matches the cross-correlation
+    # convention of dense_conv2d.
+    for dy in range(k):
+        for dx in range(k):
+            contrib = weights[:, :, k - 1 - dy, k - 1 - dx] @ values
+            np.add.at(out, (slice(None), rows + dy - pad, cols + dx - pad), contrib)
+    out = out[:, pad : pad + h, pad : pad + w]
+    if stride > 1:
+        out = out[:, ::stride, ::stride]
+    macs = sparse_conv2d_macs(frame.num_active, 2, c_out, k)
+    return out, macs
+
+
+def submanifold_conv2d(
+    frame: SparseFrame,
+    weights: np.ndarray,
+) -> Tuple[SparseFrame, int]:
+    """Submanifold sparse convolution: outputs only at the input's active sites.
+
+    This is the operation of Graham et al. [6] that keeps the active-site set
+    (and therefore the sparsity) unchanged through the layer.  Returns a new
+    sparse "frame" whose pos/neg channels hold the first two output channels
+    (the representation stays two-channel for chaining), plus the MACs
+    performed.
+    """
+    c_out, c_in, k = _check_weights(weights)
+    if c_in != 2:
+        raise ValueError("sparse frames have exactly two channels (pos / neg polarity)")
+    if c_out < 2:
+        raise ValueError("submanifold_conv2d requires at least two output channels")
+    dense_out, _ = sparse_conv2d(frame, weights, stride=1)
+    mask = np.zeros((frame.height, frame.width), dtype=bool)
+    mask[frame.rows, frame.cols] = True
+    result = SparseFrame(
+        frame.rows.copy(),
+        frame.cols.copy(),
+        dense_out[0][frame.rows, frame.cols],
+        dense_out[1][frame.rows, frame.cols],
+        frame.height,
+        frame.width,
+        frame.t_start,
+        frame.t_end,
+    )
+    macs = sparse_conv2d_macs(frame.num_active, 2, c_out, k)
+    return result, macs

@@ -1,0 +1,16 @@
+"""Runtime execution engine and baseline scheduling policies."""
+
+from .executor import ExecutionReport, MappedExecutor
+from .schedulers import all_gpu_mapping, rr_layer_mapping, rr_network_mapping
+from .tracer import format_gantt, timeline_by_device, utilisation
+
+__all__ = [
+    "MappedExecutor",
+    "ExecutionReport",
+    "all_gpu_mapping",
+    "rr_network_mapping",
+    "rr_layer_mapping",
+    "timeline_by_device",
+    "utilisation",
+    "format_gantt",
+]

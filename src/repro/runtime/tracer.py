@@ -1,0 +1,50 @@
+"""Timeline (Gantt) extraction from schedule results.
+
+The experiments and examples use these helpers to render a textual Gantt
+chart of which layer ran where — convenient for inspecting why one mapping
+beats another without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.nmp.scheduler import ScheduledNode, ScheduleResult
+
+__all__ = ["timeline_by_device", "utilisation", "format_gantt"]
+
+
+def timeline_by_device(result: ScheduleResult) -> Dict[str, List[ScheduledNode]]:
+    """Group the schedule's timeline entries by execution queue."""
+    grouped: Dict[str, List[ScheduledNode]] = {}
+    for entry in sorted(result.timeline, key=lambda e: e.start):
+        grouped.setdefault(entry.queue, []).append(entry)
+    return grouped
+
+
+def utilisation(result: ScheduleResult) -> Dict[str, float]:
+    """Fraction of the makespan each queue spends busy."""
+    makespan = result.makespan
+    if makespan <= 0:
+        return {}
+    return {
+        queue: busy / makespan for queue, busy in result.device_busy_time().items()
+    }
+
+
+def format_gantt(result: ScheduleResult, width: int = 60, max_rows: int = 40) -> str:
+    """Render a simple fixed-width textual Gantt chart of the schedule."""
+    makespan = result.makespan
+    if makespan <= 0:
+        return "(empty schedule)"
+    lines = []
+    for queue, entries in timeline_by_device(result).items():
+        lines.append(f"{queue}:")
+        for entry in entries[:max_rows]:
+            start = int(width * entry.start / makespan)
+            length = max(int(width * entry.duration / makespan), 1)
+            bar = " " * start + "#" * length
+            lines.append(f"  {bar:<{width + 2}} {entry.node} ({entry.duration * 1e3:.2f} ms)")
+        if len(entries) > max_rows:
+            lines.append(f"  ... {len(entries) - max_rows} more entries")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Shared fixtures: small, fast synthetic sequences and frames."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events import (
+    DVSCamera,
+    EventStream,
+    MovingBarsScene,
+    SensorGeometry,
+    generate_sequence,
+)
+
+
+@pytest.fixture(scope="session")
+def small_geometry() -> SensorGeometry:
+    """A small sensor used throughout the tests to keep runtimes low."""
+    return SensorGeometry(width=64, height=48)
+
+
+@pytest.fixture(scope="session")
+def bars_sequence(small_geometry):
+    """Deterministic moving-bars scene rendered through the DVS camera."""
+    scene = MovingBarsScene(
+        geometry=small_geometry, duration=0.5, frame_rate=30.0, seed=0
+    ).generate()
+    camera = DVSCamera(geometry=small_geometry, interpolation_steps=2, seed=0)
+    return camera.simulate(scene.frames, scene.timestamps)
+
+
+@pytest.fixture(scope="session")
+def bars_events(bars_sequence) -> EventStream:
+    """The event stream of the moving-bars scene."""
+    return bars_sequence.events
+
+
+@pytest.fixture(scope="session")
+def indoor_sequence():
+    """Small-scale indoor_flying1-like sequence (MVSEC stand-in)."""
+    return generate_sequence("indoor_flying1", scale=0.2, duration=1.0, seed=0)
+
+
+@pytest.fixture(scope="session")
+def random_events(small_geometry) -> EventStream:
+    """A reproducible random event stream (not sorted on purpose)."""
+    rng = np.random.default_rng(42)
+    n = 5000
+    x = rng.integers(0, small_geometry.width, n)
+    y = rng.integers(0, small_geometry.height, n)
+    t = rng.uniform(0.0, 1.0, n)
+    p = rng.choice([-1, 1], n)
+    return EventStream(x, y, t, p, small_geometry)

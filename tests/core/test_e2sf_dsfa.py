@@ -1,0 +1,243 @@
+"""Tests for the Event2Sparse Frame converter and the Dynamic Sparse Frame Aggregator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BucketStatus,
+    DSFAConfig,
+    DynamicSparseFrameAggregator,
+    Event2SparseFrameConverter,
+    MergeBucket,
+    MergeMode,
+)
+from repro.events import EventStream, SensorGeometry
+from repro.frames import SparseFrame, discretized_event_bins
+
+
+def make_stream(n=2000, seed=0, geometry=None, t_end=1.0):
+    geometry = geometry or SensorGeometry(width=48, height=36)
+    rng = np.random.default_rng(seed)
+    return EventStream(
+        rng.integers(0, geometry.width, n),
+        rng.integers(0, geometry.height, n),
+        np.sort(rng.uniform(0, t_end, n)),
+        rng.choice([-1, 1], n),
+        geometry,
+    )
+
+
+def make_frame(seed=0, n=100, density_scale=1.0, t_start=0.0, t_end=0.01, h=36, w=48):
+    rng = np.random.default_rng(seed)
+    count = max(int(n * density_scale), 1)
+    return SparseFrame.from_events(
+        rng.integers(0, w, count), rng.integers(0, h, count), rng.choice([-1, 1], count),
+        h, w, t_start, t_end,
+    )
+
+
+class TestE2SF:
+    def test_number_of_frames_equals_bins(self):
+        stream = make_stream()
+        frames = Event2SparseFrameConverter(8).convert(stream, 0.0, 1.0)
+        assert len(frames) == 8
+
+    def test_conserves_events(self):
+        stream = make_stream()
+        frames = Event2SparseFrameConverter(5).convert(stream, 0.0, 1.0)
+        assert sum(f.num_events for f in frames) == pytest.approx(len(stream))
+
+    def test_matches_dense_discretisation(self):
+        stream = make_stream(seed=3)
+        num_bins = 4
+        frames = Event2SparseFrameConverter(num_bins).convert(stream, 0.0, 1.0)
+        dense = discretized_event_bins(stream, 0.0, 1.0, num_bins)
+        for k, frame in enumerate(frames):
+            assert np.allclose(frame.to_dense(), dense[k])
+
+    def test_bin_time_ranges(self):
+        stream = make_stream()
+        frames = Event2SparseFrameConverter(4).convert(stream, 0.0, 1.0)
+        assert frames[0].t_start == 0.0
+        assert frames[-1].t_end == pytest.approx(1.0)
+        assert frames[1].t_start == pytest.approx(0.25)
+
+    def test_empty_window_gives_empty_frames(self):
+        stream = make_stream()
+        frames = Event2SparseFrameConverter(3).convert(stream, 5.0, 6.0)
+        assert all(f.num_active == 0 for f in frames)
+        assert len(frames) == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Event2SparseFrameConverter(0)
+        with pytest.raises(ValueError):
+            Event2SparseFrameConverter(4).convert(make_stream(), 1.0, 0.5)
+
+    def test_report_shows_direct_path_cheaper(self):
+        stream = make_stream(n=500)
+        _, report = Event2SparseFrameConverter(5).convert_with_report(stream, 0.0, 1.0)
+        assert report.operation_saving > 1.0
+        assert report.num_events == 500
+
+    def test_convert_sequence(self):
+        stream = make_stream()
+        per_interval = Event2SparseFrameConverter(4).convert_sequence(stream, [0.0, 0.5, 1.0])
+        assert len(per_interval) == 2
+        assert all(len(frames) == 4 for frames in per_interval)
+        with pytest.raises(ValueError):
+            Event2SparseFrameConverter(4).convert_sequence(stream, [0.0])
+
+    def test_mean_occupancy(self):
+        converter = Event2SparseFrameConverter(4)
+        frames = converter.convert(make_stream(), 0.0, 1.0)
+        assert 0.0 < converter.mean_occupancy(frames) <= 1.0
+        assert converter.mean_occupancy([]) == 0.0
+
+
+class TestMergeBucket:
+    def test_capacity_enforced(self):
+        bucket = MergeBucket(capacity=2)
+        bucket.add(make_frame(1))
+        bucket.add(make_frame(2))
+        assert bucket.is_full
+        with pytest.raises(RuntimeError):
+            bucket.add(make_frame(3))
+
+    def test_accepts_respects_time_threshold(self):
+        bucket = MergeBucket(capacity=4)
+        bucket.add(make_frame(1, t_start=0.0, t_end=0.01))
+        late = make_frame(2, t_start=1.0, t_end=1.01)
+        assert not bucket.accepts(late, max_delay=0.5, max_density_change=1.0)
+        assert bucket.accepts(late, max_delay=2.0, max_density_change=1.0)
+
+    def test_accepts_respects_density_threshold(self):
+        bucket = MergeBucket(capacity=4)
+        bucket.add(make_frame(1, n=20))
+        dense = make_frame(2, n=600)
+        assert not bucket.accepts(dense, max_delay=1.0, max_density_change=0.1)
+        assert bucket.accepts(dense, max_delay=1.0, max_density_change=1.0)
+
+    def test_merge_modes(self):
+        frames = [make_frame(1), make_frame(2)]
+        bucket = MergeBucket(capacity=2, frames=list(frames))
+        added = bucket.merge(MergeMode.ADD)
+        averaged = bucket.merge(MergeMode.AVERAGE)
+        assert added.num_events == pytest.approx(sum(f.num_events for f in frames))
+        assert averaged.num_events == pytest.approx(added.num_events / 2)
+
+    def test_merge_empty_bucket_rejected(self):
+        with pytest.raises(RuntimeError):
+            MergeBucket(capacity=2).merge(MergeMode.ADD)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MergeBucket(capacity=0)
+
+
+class TestDSFAConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DSFAConfig(event_buffer_size=0)
+        with pytest.raises(ValueError):
+            DSFAConfig(merge_bucket_size=10, event_buffer_size=4)
+        with pytest.raises(ValueError):
+            DSFAConfig(max_time_delay=0.0)
+        with pytest.raises(ValueError):
+            DSFAConfig(inference_queue_depth=0)
+
+
+class TestDSFA:
+    def test_buffer_overflow_triggers_dispatch(self):
+        config = DSFAConfig(event_buffer_size=4, merge_bucket_size=2, max_density_change=10.0)
+        dsfa = DynamicSparseFrameAggregator(config)
+        dispatched = None
+        for i in range(4):
+            dispatched = dsfa.push(make_frame(i, t_start=i * 0.001, t_end=(i + 1) * 0.001))
+        assert dispatched is not None
+        assert dsfa.buffer_occupancy == 0
+        # 4 frames in buckets of 2 -> batch of 2 merged frames.
+        assert len(dispatched) == 2
+
+    def test_hardware_available_dispatches_early(self):
+        dsfa = DynamicSparseFrameAggregator(DSFAConfig(event_buffer_size=8, merge_bucket_size=4))
+        batch = dsfa.push(make_frame(0), hardware_available=True)
+        assert batch is not None
+        assert len(batch) == 1
+
+    def test_cbatch_mode_keeps_frames_separate(self):
+        config = DSFAConfig(event_buffer_size=4, merge_bucket_size=4, merge_mode=MergeMode.BATCH)
+        dsfa = DynamicSparseFrameAggregator(config)
+        batch = None
+        for i in range(4):
+            batch = dsfa.push(make_frame(i, t_start=i * 0.001, t_end=(i + 1) * 0.001))
+        assert batch is not None
+        assert len(batch) == 4  # every frame in its own bucket
+
+    def test_cadd_conserves_events(self):
+        config = DSFAConfig(event_buffer_size=4, merge_bucket_size=4, max_density_change=10.0,
+                            max_time_delay=10.0)
+        dsfa = DynamicSparseFrameAggregator(config)
+        frames = [make_frame(i, t_start=i * 0.001, t_end=(i + 1) * 0.001) for i in range(4)]
+        batch = None
+        for frame in frames:
+            batch = dsfa.push(frame)
+        assert batch is not None
+        assert batch.num_events == pytest.approx(sum(f.num_events for f in frames))
+
+    def test_flush_empties_buffer(self):
+        dsfa = DynamicSparseFrameAggregator(DSFAConfig(event_buffer_size=8, merge_bucket_size=2))
+        dsfa.push(make_frame(0))
+        assert dsfa.flush() is not None
+        assert dsfa.flush() is None
+        assert dsfa.buffer_occupancy == 0
+
+    def test_inference_queue_eviction(self):
+        config = DSFAConfig(event_buffer_size=1, merge_bucket_size=1, inference_queue_depth=1)
+        dsfa = DynamicSparseFrameAggregator(config)
+        dsfa.push(make_frame(0))
+        dsfa.push(make_frame(1))
+        assert dsfa.discarded_frames > 0
+        assert len(dsfa.inference_queue) == 1
+
+    def test_pop_batch_fifo(self):
+        dsfa = DynamicSparseFrameAggregator(DSFAConfig(event_buffer_size=1, merge_bucket_size=1))
+        dsfa.push(make_frame(0))
+        assert dsfa.pop_batch() is not None
+        assert dsfa.pop_batch() is None
+
+    def test_density_mismatch_opens_new_bucket(self):
+        config = DSFAConfig(event_buffer_size=8, merge_bucket_size=4, max_density_change=0.05)
+        dsfa = DynamicSparseFrameAggregator(config)
+        dsfa.push(make_frame(0, n=20))
+        dsfa.push(make_frame(1, n=800))
+        assert dsfa.num_buckets == 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_frames=st.integers(min_value=1, max_value=12),
+    bucket=st.integers(min_value=1, max_value=4),
+    buffer=st.integers(min_value=4, max_value=12),
+)
+def test_property_dsfa_never_loses_events_before_queue_eviction(num_frames, bucket, buffer):
+    """Property: with a deep inference queue, cAdd merging conserves all events."""
+    bucket = min(bucket, buffer)
+    config = DSFAConfig(
+        event_buffer_size=buffer,
+        merge_bucket_size=bucket,
+        max_time_delay=10.0,
+        max_density_change=10.0,
+        inference_queue_depth=64,
+    )
+    dsfa = DynamicSparseFrameAggregator(config)
+    frames = [make_frame(i, t_start=i * 0.001, t_end=(i + 1) * 0.001) for i in range(num_frames)]
+    for frame in frames:
+        dsfa.push(frame)
+    dsfa.flush()
+    total = sum(batch.num_events for batch in dsfa.inference_queue)
+    assert total == pytest.approx(sum(f.num_events for f in frames))

@@ -1,0 +1,88 @@
+"""Tests for the integrated Ev-Edge pipeline and its configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import run_all_gpu_baseline
+from repro.core import DSFAConfig, EvEdgeConfig, EvEdgePipeline, OptimizationLevel
+from repro.events import generate_sequence
+from repro.hw import jetson_xavier_agx
+from repro.models import build_network
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return jetson_xavier_agx()
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    return generate_sequence("indoor_flying1", scale=0.15, duration=0.5, seed=0)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_network("spikeflownet")
+
+
+class TestOptimizationLevel:
+    def test_flags(self):
+        assert not OptimizationLevel.BASELINE.uses_sparse
+        assert OptimizationLevel.E2SF.uses_sparse
+        assert not OptimizationLevel.E2SF.uses_dsfa
+        assert OptimizationLevel.E2SF_DSFA.uses_dsfa
+        assert OptimizationLevel.FULL.uses_nmp
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EvEdgeConfig(num_bins=0)
+
+
+class TestPipeline:
+    def test_baseline_produces_inferences(self, network, platform, sequence):
+        report = run_all_gpu_baseline(network, platform, sequence, num_bins=5)
+        assert report.num_inferences > 0
+        assert report.mean_latency > 0
+        assert report.total_energy > 0
+        assert report.mean_occupancy == 1.0  # dense path ignores sparsity
+
+    def test_e2sf_level_is_faster_and_sparser(self, network, platform, sequence):
+        baseline = EvEdgePipeline(
+            network, platform, EvEdgeConfig(num_bins=5, optimization=OptimizationLevel.BASELINE)
+        ).run(sequence)
+        sparse = EvEdgePipeline(
+            network, platform, EvEdgeConfig(num_bins=5, optimization=OptimizationLevel.E2SF)
+        ).run(sequence)
+        assert sparse.mean_latency < baseline.mean_latency
+        assert sparse.total_energy < baseline.total_energy
+        assert sparse.mean_occupancy < 1.0
+
+    def test_dsfa_reduces_inference_count_for_heavy_network(self, platform, sequence):
+        heavy = build_network("adaptive_spikenet")
+        config_e2sf = EvEdgeConfig(num_bins=10, optimization=OptimizationLevel.E2SF)
+        config_dsfa = EvEdgeConfig(
+            num_bins=10,
+            dsfa=DSFAConfig(event_buffer_size=8, merge_bucket_size=4),
+            optimization=OptimizationLevel.E2SF_DSFA,
+        )
+        without = EvEdgePipeline(heavy, platform, config_e2sf).run(sequence)
+        with_dsfa = EvEdgePipeline(heavy, platform, config_dsfa).run(sequence)
+        assert with_dsfa.num_inferences <= without.num_inferences + without.frames_dropped
+        # DSFA never drops frames: they are merged instead.
+        assert with_dsfa.frames_dropped == 0
+
+    def test_frame_accounting(self, network, platform, sequence):
+        config = EvEdgeConfig(num_bins=5, optimization=OptimizationLevel.E2SF_DSFA)
+        report = EvEdgePipeline(network, platform, config).run(sequence)
+        assert report.frames_generated == 5 * sequence.num_intervals
+        assert report.frames_merged <= report.frames_generated
+
+    def test_empty_report_defaults(self):
+        from repro.core.pipeline import PipelineReport
+
+        report = PipelineReport()
+        assert report.mean_latency == 0.0
+        assert report.total_time == 0.0
+        assert report.mean_occupancy == 0.0
+        assert report.num_inferences == 0

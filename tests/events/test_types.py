@@ -1,0 +1,208 @@
+"""Tests for repro.events.types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import EventStream, SensorGeometry, concatenate_streams
+
+
+def make_stream(n=100, seed=0, geometry=None):
+    geometry = geometry or SensorGeometry(width=32, height=24)
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, geometry.width, n)
+    y = rng.integers(0, geometry.height, n)
+    t = np.sort(rng.uniform(0, 1, n))
+    p = rng.choice([-1, 1], n)
+    return EventStream(x, y, t, p, geometry)
+
+
+class TestSensorGeometry:
+    def test_defaults_are_davis346(self):
+        g = SensorGeometry()
+        assert g.resolution == (346, 260)
+        assert g.num_pixels == 346 * 260
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            SensorGeometry(width=0, height=10)
+        with pytest.raises(ValueError):
+            SensorGeometry(width=10, height=-1)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            SensorGeometry(contrast_threshold=0.0)
+
+    def test_rejects_negative_refractory(self):
+        with pytest.raises(ValueError):
+            SensorGeometry(refractory_period=-1.0)
+
+
+class TestEventStreamConstruction:
+    def test_empty_stream(self):
+        s = EventStream.empty()
+        assert len(s) == 0
+        assert s.duration == 0.0
+        assert s.event_rate == 0.0
+        assert s.spatial_density() == 0.0
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            EventStream(np.zeros(3), np.zeros(2), np.zeros(3), np.ones(3))
+
+    def test_out_of_bounds_rejected(self):
+        g = SensorGeometry(width=8, height=8)
+        with pytest.raises(ValueError):
+            EventStream([10], [0], [0.0], [1], g)
+        with pytest.raises(ValueError):
+            EventStream([0], [9], [0.0], [1], g)
+
+    def test_bad_polarity_rejected(self):
+        g = SensorGeometry(width=8, height=8)
+        with pytest.raises(ValueError):
+            EventStream([0], [0], [0.0], [3], g)
+
+    def test_unsorted_timestamps_get_sorted(self):
+        g = SensorGeometry(width=8, height=8)
+        s = EventStream([0, 1, 2], [0, 0, 0], [0.3, 0.1, 0.2], [1, -1, 1], g)
+        assert np.all(np.diff(s.t) >= 0)
+        assert list(s.x) == [1, 2, 0]
+
+    def test_from_arrays_roundtrip(self):
+        s = make_stream(50)
+        arr = s.to_array()
+        s2 = EventStream.from_arrays(arr, s.geometry)
+        assert s2 == s
+
+    def test_from_arrays_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            EventStream.from_arrays(np.zeros((5, 3)))
+
+
+class TestEventStreamSlicing:
+    def test_slice_time_bounds(self):
+        s = make_stream(1000)
+        sliced = s.slice_time(0.25, 0.75)
+        assert np.all(sliced.t >= 0.25)
+        assert np.all(sliced.t < 0.75)
+
+    def test_slice_time_full_range_is_identity(self):
+        s = make_stream(200)
+        assert len(s.slice_time(-1.0, 2.0)) == len(s)
+
+    def test_split_time_partitions_all_events(self):
+        s = make_stream(500)
+        pieces = s.split_time([0.2, 0.5, 0.9])
+        assert sum(len(p) for p in pieces) == len(s)
+        assert len(pieces) == 4
+
+    def test_shift_time(self):
+        s = make_stream(10)
+        shifted = s.shift_time(5.0)
+        assert np.allclose(shifted.t, s.t + 5.0)
+
+    def test_polarity_split(self):
+        s = make_stream(300)
+        pos, neg = s.polarity_split()
+        assert len(pos) + len(neg) == len(s)
+        assert np.all(pos.p == 1)
+        assert np.all(neg.p == -1)
+
+    def test_select_mask(self):
+        s = make_stream(100)
+        mask = s.x < 10
+        sel = s.select(mask)
+        assert np.all(sel.x < 10)
+
+
+class TestEventStreamStatistics:
+    def test_spatial_density_bounds(self):
+        s = make_stream(5000)
+        assert 0.0 < s.spatial_density() <= 1.0
+
+    def test_temporal_density_sums_to_total(self):
+        s = make_stream(2000)
+        counts = s.temporal_density(0.1)
+        assert counts.sum() == len(s)
+
+    def test_temporal_density_rejects_bad_window(self):
+        s = make_stream(10)
+        with pytest.raises(ValueError):
+            s.temporal_density(0.0)
+
+    def test_events_per_pixel_total(self):
+        s = make_stream(400)
+        counts = s.events_per_pixel()
+        assert counts.sum() == len(s)
+        assert counts.shape == (s.geometry.height, s.geometry.width)
+
+    def test_event_rate(self):
+        g = SensorGeometry(width=8, height=8)
+        s = EventStream([0, 1], [0, 0], [0.0, 2.0], [1, 1], g)
+        assert s.event_rate == pytest.approx(1.0)
+
+
+class TestConcatenate:
+    def test_concatenate_sorts_by_time(self):
+        a = make_stream(100, seed=1)
+        b = make_stream(100, seed=2)
+        merged = concatenate_streams([a, b])
+        assert len(merged) == 200
+        assert np.all(np.diff(merged.t) >= 0)
+
+    def test_concatenate_empty_list(self):
+        assert len(concatenate_streams([])) == 0
+
+    def test_concatenate_rejects_mixed_geometry(self):
+        a = make_stream(10, geometry=SensorGeometry(width=32, height=24))
+        b = make_stream(10, geometry=SensorGeometry(width=16, height=16))
+        with pytest.raises(ValueError):
+            concatenate_streams([a, b])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=500),
+    seed=st.integers(min_value=0, max_value=10_000),
+    window=st.floats(min_value=0.01, max_value=0.5),
+)
+def test_property_temporal_density_conserves_events(n, seed, window):
+    """Property: binning events into time windows never loses or adds events."""
+    geometry = SensorGeometry(width=16, height=16)
+    rng = np.random.default_rng(seed)
+    if n == 0:
+        stream = EventStream.empty(geometry)
+    else:
+        stream = EventStream(
+            rng.integers(0, 16, n),
+            rng.integers(0, 16, n),
+            np.sort(rng.uniform(0, 1, n)),
+            rng.choice([-1, 1], n),
+            geometry,
+        )
+    assert stream.temporal_density(window).sum() == len(stream)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    seed=st.integers(min_value=0, max_value=10_000),
+    cut=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_property_slice_partition(n, seed, cut):
+    """Property: slicing at any cut point partitions the stream."""
+    geometry = SensorGeometry(width=16, height=16)
+    rng = np.random.default_rng(seed)
+    stream = EventStream(
+        rng.integers(0, 16, n),
+        rng.integers(0, 16, n),
+        np.sort(rng.uniform(0, 1, n)),
+        rng.choice([-1, 1], n),
+        geometry,
+    )
+    left = stream.slice_time(-np.inf, cut)
+    right = stream.slice_time(cut, np.inf)
+    assert len(left) + len(right) == len(stream)

@@ -1,0 +1,62 @@
+"""Tests for the model zoo (Table 1 networks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import (
+    TABLE1_REFERENCE,
+    available_networks,
+    build_network,
+    table1_summary,
+)
+
+
+class TestZoo:
+    def test_all_table1_networks_available(self):
+        names = available_networks()
+        for expected in TABLE1_REFERENCE:
+            assert expected in names
+
+    def test_unknown_network_raises(self):
+        with pytest.raises(KeyError):
+            build_network("resnet50")
+
+    @pytest.mark.parametrize("name", sorted(TABLE1_REFERENCE))
+    def test_layer_counts_match_paper(self, name):
+        net = build_network(name)
+        task, net_type, layers, snn, ann = TABLE1_REFERENCE[name]
+        assert net.num_layers == layers
+        assert net.num_snn_layers == snn
+        assert net.num_ann_layers == ann
+        assert net.network_type == net_type
+
+    @pytest.mark.parametrize("name", sorted(TABLE1_REFERENCE))
+    def test_graphs_are_connected_dags(self, name):
+        net = build_network(name)
+        assert len(net.sources()) >= 1
+        assert len(net.sinks()) >= 1
+        assert net.total_macs > 0
+        assert net.total_parameters > 0
+
+    def test_custom_resolution_scales_macs(self):
+        small = build_network("spikeflownet", 64, 64)
+        large = build_network("spikeflownet", 256, 256)
+        assert large.total_macs > small.total_macs
+        assert small.num_layers == large.num_layers
+
+    def test_evflownet_is_ann(self):
+        net = build_network("evflownet")
+        assert net.network_type == "ANN"
+        assert net.task == "optical_flow"
+
+    def test_table1_summary_rows(self):
+        rows = table1_summary()
+        assert len(rows) == len(TABLE1_REFERENCE)
+        for row in rows:
+            assert row["layers"] == row["paper_layers"]
+            assert row["total_gmacs"] > 0
+
+    def test_snn_networks_have_high_sparsity(self):
+        net = build_network("adaptive_spikenet")
+        assert net.total_effective_macs < 0.4 * net.total_macs
