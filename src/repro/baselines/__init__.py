@@ -1,6 +1,7 @@
-"""Baselines: dense all-GPU pipeline and static aggregation policies."""
+"""Baselines: dense all-GPU pipeline, static aggregation, multi-stream refs."""
 
 from .dense_pipeline import baseline_config, run_all_gpu_baseline
+from .multi_stream import run_streams_isolated, run_streams_unbatched
 from .static_agg import CountBasedAggregator, FixedIntervalAggregator
 
 __all__ = [
@@ -8,4 +9,6 @@ __all__ = [
     "run_all_gpu_baseline",
     "CountBasedAggregator",
     "FixedIntervalAggregator",
+    "run_streams_isolated",
+    "run_streams_unbatched",
 ]

@@ -9,7 +9,6 @@ simulator runs both the baseline and the optimised configurations.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..core.config import EvEdgeConfig, OptimizationLevel
 from ..core.pipeline import EvEdgePipeline

@@ -1,0 +1,67 @@
+"""Multi-stream baselines for the traffic simulator.
+
+Two reference points bracket :class:`~repro.runtime.streams.
+MultiStreamSimulator` results:
+
+* :func:`run_streams_isolated` — every stream gets the whole platform to
+  itself (no contention, no cross-stream batching).  This is the
+  infeasible upper bound: N sensors would need N boards.
+* :func:`run_streams_unbatched` — all streams share one platform but
+  cross-stream batching is disabled (``max_merge_streams=1``), isolating
+  how much of the shared-platform throughput comes from merging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.pipeline import EvEdgePipeline, PipelineReport
+from ..hw.energy import EnergyModel
+from ..hw.latency import LatencyModel
+from ..hw.pe import Platform
+from ..runtime.streams import MultiStreamReport, MultiStreamSimulator, StreamSource
+
+__all__ = ["run_streams_isolated", "run_streams_unbatched"]
+
+
+def run_streams_isolated(
+    sources: Sequence[StreamSource],
+    platform: Platform,
+    latency_model: Optional[LatencyModel] = None,
+    energy_model: Optional[EnergyModel] = None,
+) -> Dict[str, PipelineReport]:
+    """Run every stream on a private copy of the platform (no contention).
+
+    Each stream is simulated independently with the single-stream pipeline,
+    as if it owned the hardware outright — the per-stream latency floor the
+    shared-platform simulation is compared against.
+    """
+    reports: Dict[str, PipelineReport] = {}
+    for source in sources:
+        pipeline = EvEdgePipeline(
+            source.network,
+            platform,
+            config=source.config,
+            mapping=source.mapping,
+            latency_model=latency_model,
+            energy_model=energy_model,
+        )
+        reports[source.name] = pipeline.run(source.sequence)
+    return reports
+
+
+def run_streams_unbatched(
+    sources: Sequence[StreamSource],
+    platform: Platform,
+    latency_model: Optional[LatencyModel] = None,
+    energy_model: Optional[EnergyModel] = None,
+) -> MultiStreamReport:
+    """Share one platform across streams with cross-stream batching disabled."""
+    simulator = MultiStreamSimulator(
+        platform,
+        sources,
+        latency_model=latency_model,
+        energy_model=energy_model,
+        max_merge_streams=1,
+    )
+    return simulator.run()

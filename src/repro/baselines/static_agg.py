@@ -8,7 +8,7 @@ policies are the points of comparison for DSFA's dynamic merging.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..events.types import EventStream
 from ..frames.sparse import SparseFrame

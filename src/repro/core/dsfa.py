@@ -25,7 +25,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Deque, List, Optional, Sequence
+from typing import Deque, List, Optional
 
 from ..frames.sparse import SparseFrame, SparseFrameBatch
 

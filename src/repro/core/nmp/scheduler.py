@@ -15,8 +15,8 @@ pair is mapped to different devices.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ...hw.pe import Platform
 from ...hw.profiler import ProfileTable

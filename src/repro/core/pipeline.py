@@ -15,84 +15,36 @@ simulates the processing of a whole recorded sequence on the platform model:
 The simulation is event-driven over frame arrival times, so back-pressure
 effects are captured: during event bursts the baseline accumulates a backlog
 (raising per-frame latency), which is exactly the behaviour DSFA removes.
+
+The pipeline itself is a thin single-stream client of the shared simulation
+kernel (:mod:`repro.runtime.sim`): the sequence becomes a
+:class:`~repro.runtime.streams.StreamSource`, the frame/DSFA protocol runs
+in a :class:`~repro.runtime.streams.StreamClient`, and execution costs come
+from a memoized :class:`~repro.runtime.sim.NetworkCostModel`.  The
+multi-stream traffic simulator reuses the same pieces.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Optional, Tuple
 
 from ..events.datasets import EventSequence
-from ..frames.sparse import SparseFrame, SparseFrameBatch
 from ..hw.energy import EnergyModel
 from ..hw.latency import LatencyModel
 from ..hw.pe import Platform
 from ..nn.graph import LayerGraph
-from ..nn.quantization import Precision
-from .config import EvEdgeConfig, OptimizationLevel
-from .dsfa import DynamicSparseFrameAggregator
-from .e2sf import Event2SparseFrameConverter
+from ..runtime.sim import (
+    InferenceRecord,
+    LayerCostTable,
+    NetworkCostModel,
+    PipelineReport,
+    SimulationKernel,
+)
+from ..runtime.streams import SerialExecutor, StreamClient, StreamSource
+from .config import EvEdgeConfig
 from .nmp.candidate import MappingCandidate
 
 __all__ = ["InferenceRecord", "PipelineReport", "EvEdgePipeline"]
-
-
-@dataclass(frozen=True)
-class InferenceRecord:
-    """One simulated inference: which frames it covered and its timing."""
-
-    dispatch_time: float
-    start_time: float
-    end_time: float
-    num_frames: int
-    occupancy: float
-    energy: float
-
-    @property
-    def latency(self) -> float:
-        """Completion time minus the time the newest covered frame was ready."""
-        return self.end_time - self.dispatch_time
-
-
-@dataclass
-class PipelineReport:
-    """Aggregate statistics of one pipeline run over a sequence."""
-
-    records: List[InferenceRecord] = field(default_factory=list)
-    frames_generated: int = 0
-    frames_merged: int = 0
-    frames_dropped: int = 0
-
-    @property
-    def num_inferences(self) -> int:
-        """Number of network invocations performed."""
-        return len(self.records)
-
-    @property
-    def total_time(self) -> float:
-        """Wall-clock completion time of the last inference."""
-        return max((r.end_time for r in self.records), default=0.0)
-
-    @property
-    def mean_latency(self) -> float:
-        """Mean per-inference latency (dispatch to completion), seconds."""
-        if not self.records:
-            return 0.0
-        return float(np.mean([r.latency for r in self.records]))
-
-    @property
-    def total_energy(self) -> float:
-        """Total energy in joules."""
-        return float(sum(r.energy for r in self.records))
-
-    @property
-    def mean_occupancy(self) -> float:
-        """Mean input occupancy across inferences."""
-        if not self.records:
-            return 0.0
-        return float(np.mean([r.occupancy for r in self.records]))
 
 
 class EvEdgePipeline:
@@ -113,23 +65,15 @@ class EvEdgePipeline:
         self.mapping = mapping
         self.latency_model = latency_model or LatencyModel()
         self.energy_model = energy_model or EnergyModel(self.latency_model)
-        self.converter = Event2SparseFrameConverter(self.config.num_bins)
+        self.cost_model = NetworkCostModel(
+            network,
+            platform,
+            config=self.config,
+            mapping=mapping,
+            table=LayerCostTable(self.latency_model, self.energy_model),
+        )
 
     # ------------------------------------------------------------------
-    def _assignment_for(self, node_name: str):
-        """(pe, precision) of one layer under the active mapping."""
-        gpu = self.platform.gpu()
-        if self.mapping is None or not self.config.optimization.uses_nmp:
-            return gpu, self.config.baseline_precision
-        full_node = f"{self.network.name}.{node_name}"
-        if full_node in self.mapping:
-            assignment = self.mapping[full_node]
-        elif node_name in self.mapping:
-            assignment = self.mapping[node_name]
-        else:
-            return gpu, self.config.baseline_precision
-        return self.platform.pe(assignment.pe), assignment.precision
-
     def inference_time_and_energy(
         self, occupancy: float, batch: int
     ) -> Tuple[float, float]:
@@ -139,106 +83,31 @@ class EvEdgePipeline:
         deeper layers use their modelled activation sparsity.  When producer
         and consumer layers sit on different devices a unified-memory
         transfer is added (single-task execution is serial, so transfers are
-        simply summed).
+        simply summed).  Results are memoized per ``(occupancy, batch)``.
         """
-        sparse = self.config.optimization.uses_sparse
-        total_latency = 0.0
-        total_energy = 0.0
-        previous_pe = None
-        previous_spec = None
-        previous_precision = None
-        first = True
-        for spec in self.network.layers():
-            if not spec.kind.is_compute:
-                continue
-            pe, precision = self._assignment_for(spec.name)
-            if not pe.supports_layer(spec):
-                pe = self.platform.gpu()
-            occ = occupancy if first else None
-            layer_sparse = sparse and pe.supports_sparse
-            total_latency += self.latency_model.layer_latency(
-                spec, pe, precision, sparse=layer_sparse, occupancy=occ, batch=batch
-            ).total
-            total_energy += self.energy_model.layer_energy(
-                spec, pe, precision, sparse=layer_sparse, occupancy=occ, batch=batch
-            ).total
-            if previous_pe is not None and previous_pe.name != pe.name:
-                transfer_bytes = previous_spec.output_bytes(previous_precision) * batch
-                total_latency += self.platform.transfer_time(
-                    transfer_bytes, previous_pe.name, pe.name
-                )
-                total_energy += self.energy_model.transfer_energy(transfer_bytes)
-            previous_pe, previous_spec, previous_precision = pe, spec, precision
-            first = False
-        return total_latency, total_energy
+        return self.cost_model.inference_cost(occupancy, batch)
 
     # ------------------------------------------------------------------
-    def run(self, sequence: EventSequence) -> PipelineReport:
-        """Process ``sequence`` end to end and return the timing report."""
-        report = PipelineReport()
-        use_dsfa = self.config.optimization.uses_dsfa
-        aggregator = DynamicSparseFrameAggregator(self.config.dsfa) if use_dsfa else None
-        busy_until = 0.0
+    def run(self, sequence: EventSequence, trace: Optional[object] = None) -> PipelineReport:
+        """Process ``sequence`` end to end and return the timing report.
 
-        timestamps = sequence.frame_timestamps
-        for i in range(sequence.num_intervals):
-            frames = self.converter.convert(
-                sequence.events, float(timestamps[i]), float(timestamps[i + 1])
-            )
-            report.frames_generated += len(frames)
-            for frame in frames:
-                arrival = frame.t_end
-                if aggregator is not None:
-                    hardware_available = arrival >= busy_until
-                    batch = aggregator.push(frame, hardware_available=hardware_available)
-                    if batch is not None:
-                        busy_until = self._execute_batch(batch, arrival, busy_until, report)
-                        report.frames_merged += len(batch)
-                else:
-                    # Without DSFA every frame is processed individually.  A
-                    # real deployment bounds its input queue, so when the
-                    # backlog exceeds ``inference_queue_depth`` inferences the
-                    # oldest frame is dropped instead of queued forever.
-                    backlog = busy_until - arrival
-                    last_latency = (
-                        report.records[-1].end_time - report.records[-1].start_time
-                        if report.records
-                        else 0.0
-                    )
-                    if backlog > self.config.dsfa.inference_queue_depth * max(last_latency, 1e-9):
-                        report.frames_dropped += 1
-                        continue
-                    batch = SparseFrameBatch([frame])
-                    busy_until = self._execute_batch(batch, arrival, busy_until, report)
-        if aggregator is not None:
-            batch = aggregator.flush()
-            if batch is not None:
-                last_time = float(timestamps[-1])
-                busy_until = self._execute_batch(batch, last_time, busy_until, report)
-                report.frames_merged += len(batch)
-        return report
-
-    def _execute_batch(
-        self,
-        batch: SparseFrameBatch,
-        dispatch_time: float,
-        busy_until: float,
-        report: PipelineReport,
-    ) -> float:
-        occupancy = batch.mean_density if self.config.optimization.uses_sparse else 1.0
-        latency, energy = self.inference_time_and_energy(
-            occupancy=max(occupancy, 1e-4), batch=max(len(batch), 1)
+        Pass a :class:`~repro.runtime.tracer.KernelTrace` as ``trace`` to
+        record the kernel's event timeline alongside the report.
+        """
+        source = StreamSource(
+            name=sequence.name,
+            sequence=sequence,
+            network=self.network,
+            config=self.config,
+            mapping=self.mapping,
         )
-        start = max(dispatch_time, busy_until)
-        end = start + latency
-        report.records.append(
-            InferenceRecord(
-                dispatch_time=dispatch_time,
-                start_time=start,
-                end_time=end,
-                num_frames=len(batch),
-                occupancy=occupancy,
-                energy=energy,
-            )
+        kernel = SimulationKernel(trace=trace)
+        client = StreamClient(
+            source,
+            kernel,
+            executor=SerialExecutor(kernel),
+            cost_model=self.cost_model,
         )
-        return end
+        client.prime()
+        kernel.run()
+        return client.report

@@ -21,7 +21,7 @@ from __future__ import annotations
 import io
 import struct
 from pathlib import Path
-from typing import BinaryIO, Optional, Union
+from typing import Optional, Union
 
 import numpy as np
 

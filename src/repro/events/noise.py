@@ -9,7 +9,6 @@ composable noise injectors that operate on :class:`~repro.events.types.EventStre
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -12,7 +12,7 @@ converter, frame builders, dataset generators) operate on these types.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -311,9 +311,16 @@ def concatenate_streams(streams: Iterable[EventStream]) -> EventStream:
     generators to combine object-level event streams into a scene stream and
     to merge signal with noise events.
     """
-    streams = [s for s in streams if len(s) > 0]
+    all_streams = list(streams)
+    streams = [s for s in all_streams if len(s) > 0]
     if not streams:
-        return EventStream.empty()
+        # All inputs are empty: preserve their geometry instead of silently
+        # falling back to the default sensor.
+        geometry = all_streams[0].geometry if all_streams else None
+        for s in all_streams[1:]:
+            if s.geometry != geometry:
+                raise ValueError("cannot concatenate streams with different geometries")
+        return EventStream.empty(geometry)
     geometry = streams[0].geometry
     for s in streams[1:]:
         if s.geometry != geometry:

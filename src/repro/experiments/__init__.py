@@ -1,6 +1,6 @@
 """Experiment harnesses: one module per paper figure/table."""
 
-from .common import ExperimentSettings, format_table
+from .common import ExperimentSettings, format_table, traffic_mix
 from .fig1_redundancy import format_fig1, run_fig1
 from .fig3_sparsity import NETWORK_BIN_COUNTS, format_fig3, run_fig3
 from .fig5_density import format_fig5, run_fig5
@@ -13,6 +13,7 @@ from .table2_accuracy import PAPER_TABLE2, TABLE2_NETWORKS, format_table2, run_t
 __all__ = [
     "ExperimentSettings",
     "format_table",
+    "traffic_mix",
     "run_fig1",
     "format_fig1",
     "run_fig3",

@@ -11,9 +11,9 @@ on; the defaults reproduce the full-size study.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["ExperimentSettings", "format_table"]
+__all__ = ["ExperimentSettings", "format_table", "traffic_mix"]
 
 
 @dataclass(frozen=True)
@@ -40,6 +40,7 @@ class ExperimentSettings:
     num_bins: int = 10
     seed: int = 0
     network_resolution: Sequence[int] = (260, 346)
+    num_streams: int = 4
 
 
 def format_table(rows: List[Dict[str, object]], columns: Sequence[str]) -> str:
@@ -65,3 +66,70 @@ def format_table(rows: List[Dict[str, object]], columns: Sequence[str]) -> str:
     for cells in rendered:
         lines.append("  ".join(cell.ljust(widths[c]) for cell, c in zip(cells, columns)))
     return "\n".join(lines)
+
+
+# Default heterogeneous traffic recipe: (network, sequence) pairs cycled by
+# :func:`traffic_mix`.  The networks cover both SNN- and ANN-style workloads
+# and the sequences cover bursty drone, steady driving and high-speed motion.
+_TRAFFIC_RECIPE: Tuple[Tuple[str, str], ...] = (
+    ("spikeflownet", "indoor_flying1"),
+    ("dotie", "high_speed_disk"),
+    ("halsie", "indoor_flying2"),
+    ("e2depth", "town10"),
+)
+
+
+def traffic_mix(
+    num_streams: Optional[int] = None,
+    settings: Optional[ExperimentSettings] = None,
+    network_resolution: Tuple[int, int] = (64, 64),
+    stagger: float = 0.004,
+    optimization: Optional[object] = None,
+):
+    """Build ``num_streams`` heterogeneous :class:`StreamSource` objects.
+
+    Streams cycle through the default network/sequence recipe, reuse one
+    generated sequence and one built network per recipe entry, and are
+    phase-staggered by ``stagger`` seconds so arrivals interleave instead of
+    colliding.  ``num_streams`` defaults to ``settings.num_streams``.  Used
+    by the multi-stream benchmark and examples; pass a different
+    ``optimization`` level (default: E2SF+DSFA) to study other
+    configurations under traffic.
+    """
+    from ..core.config import EvEdgeConfig, OptimizationLevel
+    from ..events.datasets import generate_sequence
+    from ..models.zoo import build_network
+    from ..runtime.streams import StreamSource
+
+    settings = settings or ExperimentSettings()
+    if num_streams is None:
+        num_streams = settings.num_streams
+    if num_streams < 1:
+        raise ValueError("num_streams must be >= 1")
+    level = optimization or OptimizationLevel.E2SF_DSFA
+    height, width = network_resolution
+    networks: Dict[str, object] = {}
+    sequences: Dict[str, object] = {}
+    sources = []
+    for i in range(num_streams):
+        net_name, seq_name = _TRAFFIC_RECIPE[i % len(_TRAFFIC_RECIPE)]
+        if net_name not in networks:
+            networks[net_name] = build_network(net_name, height, width)
+        if seq_name not in sequences:
+            sequences[seq_name] = generate_sequence(
+                seq_name,
+                scale=settings.scale,
+                duration=settings.duration,
+                seed=settings.seed + i % len(_TRAFFIC_RECIPE),
+            )
+        config = EvEdgeConfig(num_bins=settings.num_bins, optimization=level)
+        sources.append(
+            StreamSource(
+                name=f"s{i:02d}:{net_name}",
+                sequence=sequences[seq_name],
+                network=networks[net_name],
+                config=config,
+                start_offset=stagger * i,
+            )
+        )
+    return sources

@@ -9,7 +9,7 @@ evolutionary search versus random sampling of the same number of candidates
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..core.nmp.evolutionary import NMPConfig, NetworkMapper
 from ..core.nmp.random_search import RandomSearchMapper

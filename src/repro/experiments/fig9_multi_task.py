@@ -16,7 +16,6 @@ from typing import Dict, List, Optional
 from ..core.nmp.evolutionary import NMPConfig, NetworkMapper
 from ..hw.jetson import jetson_xavier_agx
 from ..hw.pe import Platform
-from ..hw.profiler import PlatformProfiler
 from ..models.zoo import build_network
 from ..nn.accuracy import TaskAccuracyEvaluator
 from ..nn.graph import MultiTaskGraph, TaskSpec

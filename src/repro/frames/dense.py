@@ -16,7 +16,6 @@ that Ev-Edge's E2SF avoids:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -15,7 +15,6 @@ from typing import Tuple
 
 import numpy as np
 
-from ..events.types import EventStream
 from .dense import discretized_event_bins
 from .sparse import SparseFrame
 

@@ -13,7 +13,7 @@ Sparse Frame Aggregator needs: element-wise add, average, batching
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -14,7 +14,7 @@ from typing import Optional
 
 from ..nn.layers import LayerSpec
 from ..nn.quantization import Precision
-from .latency import LatencyEstimate, LatencyModel
+from .latency import LatencyModel
 from .pe import Platform, ProcessingElement
 
 __all__ = ["EnergyModel", "EnergyEstimate"]

@@ -20,7 +20,6 @@ workloads GPU/CPU bound and motivates the Network Mapper.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..nn.quantization import Precision
 from .pe import PEType, Platform, ProcessingElement

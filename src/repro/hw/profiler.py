@@ -16,7 +16,7 @@ touching the search code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..nn.graph import MultiTaskGraph
@@ -24,7 +24,7 @@ from ..nn.layers import LayerSpec
 from ..nn.quantization import Precision
 from .energy import EnergyModel
 from .latency import LatencyModel
-from .pe import Platform, ProcessingElement
+from .pe import Platform
 
 __all__ = ["ProfileEntry", "ProfileTable", "PlatformProfiler"]
 

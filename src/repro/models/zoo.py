@@ -23,7 +23,7 @@ resolution used by MVSEC.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from ..nn.graph import LayerGraph
 from ..nn.layers import LayerKind, LayerSpec

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..events.datasets import EventSequence, generate_sequence
+from ..events.datasets import generate_sequence
 from ..frames.dense import discretized_event_bins
 from ..metrics import (
     average_depth_error,

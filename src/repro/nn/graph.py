@@ -9,12 +9,12 @@ what NMP, the round-robin baselines and the runtime executor operate on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from .layers import LayerKind, LayerSpec
+from .layers import LayerSpec
 
 __all__ = ["LayerGraph", "TaskSpec", "MultiTaskGraph"]
 

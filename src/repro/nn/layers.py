@@ -17,9 +17,9 @@ connected heads and element-wise fusion layers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Optional, Tuple
+from typing import Tuple
 
 from .quantization import Precision
 

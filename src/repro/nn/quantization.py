@@ -12,7 +12,7 @@ the accuracy-degradation constraint in Equation 2.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Iterable, Tuple
+from typing import Tuple
 
 import numpy as np
 

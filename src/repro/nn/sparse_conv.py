@@ -15,7 +15,7 @@ sparse convolutions).  This module implements:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -1,8 +1,36 @@
-"""Runtime execution engine and baseline scheduling policies."""
+"""Runtime execution engine: simulation kernel, traffic streams, schedulers."""
 
 from .executor import ExecutionReport, MappedExecutor
 from .schedulers import all_gpu_mapping, rr_layer_mapping, rr_network_mapping
-from .tracer import format_gantt, timeline_by_device, utilisation
+from .sim import (
+    DispatchBatch,
+    FrameReady,
+    InferenceDone,
+    InferenceRecord,
+    LayerCost,
+    LayerCostTable,
+    NetworkCostModel,
+    PipelineReport,
+    QueueEvict,
+    SimEvent,
+    SimulationKernel,
+    StreamEnd,
+)
+from .streams import (
+    MultiStreamReport,
+    MultiStreamSimulator,
+    SerialExecutor,
+    SignatureServer,
+    StreamClient,
+    StreamSource,
+)
+from .tracer import (
+    KernelTrace,
+    TraceEntry,
+    format_gantt,
+    timeline_by_device,
+    utilisation,
+)
 
 __all__ = [
     "MappedExecutor",
@@ -10,6 +38,26 @@ __all__ = [
     "all_gpu_mapping",
     "rr_network_mapping",
     "rr_layer_mapping",
+    "SimEvent",
+    "FrameReady",
+    "DispatchBatch",
+    "InferenceDone",
+    "QueueEvict",
+    "StreamEnd",
+    "SimulationKernel",
+    "LayerCost",
+    "LayerCostTable",
+    "NetworkCostModel",
+    "InferenceRecord",
+    "PipelineReport",
+    "StreamSource",
+    "StreamClient",
+    "SerialExecutor",
+    "SignatureServer",
+    "MultiStreamReport",
+    "MultiStreamSimulator",
+    "KernelTrace",
+    "TraceEntry",
     "timeline_by_device",
     "utilisation",
     "format_gantt",

@@ -1,0 +1,501 @@
+"""Event-driven simulation kernel shared by every Ev-Edge execution client.
+
+The seed had two disjoint simulation paths: :class:`~repro.core.pipeline.
+EvEdgePipeline` hand-rolled an inline arrival loop for single-task streaming
+and the multi-task path went through a static list scheduler.  This module
+extracts the common substrate both (and any future traffic scenario) build
+on:
+
+* **Typed events** — :class:`FrameReady`, :class:`DispatchBatch`,
+  :class:`InferenceDone`, :class:`QueueEvict` and :class:`StreamEnd` — each
+  carrying its simulation time and the name of the traffic stream it belongs
+  to.
+* :class:`SimulationKernel` — a priority-queue event loop.  Events at the
+  same timestamp are ordered by a per-type priority (completions free their
+  devices before new frames are examined, dispatches run before later
+  arrivals) and FIFO within a type, which is exactly the ordering the seed's
+  inline loop produced implicitly.  The kernel also owns per-resource busy
+  tracking (``busy_until`` / ``acquire``) so clients share one notion of
+  device occupancy.
+* :class:`LayerCostTable` — a memo table for per-layer latency/energy keyed
+  on ``(layer, pe, precision, sparse, occupancy-bucket, batch)``, and
+  :class:`NetworkCostModel`, which resolves a network's layer→(PE, precision)
+  assignment once and memoizes whole-network inference costs so the hot path
+  stops re-walking the layer graph for every inference.
+
+Single-stream clients (``EvEdgePipeline.run``) and the multi-stream traffic
+simulator (:mod:`repro.runtime.streams`) are both thin protocol drivers on
+top of this kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import EvEdgeConfig
+from ..core.nmp.candidate import MappingCandidate
+from ..frames.sparse import SparseFrame, SparseFrameBatch
+from ..hw.energy import EnergyModel
+from ..hw.latency import LatencyModel
+from ..hw.pe import Platform, ProcessingElement
+from ..nn.graph import LayerGraph
+from ..nn.layers import LayerSpec
+from ..nn.quantization import Precision
+
+__all__ = [
+    "SimEvent",
+    "FrameReady",
+    "DispatchBatch",
+    "InferenceDone",
+    "QueueEvict",
+    "StreamEnd",
+    "SimulationKernel",
+    "LayerCost",
+    "LayerCostTable",
+    "NetworkCostModel",
+    "InferenceRecord",
+    "PipelineReport",
+]
+
+
+# ----------------------------------------------------------------------
+# reports (shared by the single-stream pipeline and the traffic simulator)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class InferenceRecord:
+    """One simulated inference: which frames it covered and its timing."""
+
+    dispatch_time: float
+    start_time: float
+    end_time: float
+    num_frames: int
+    occupancy: float
+    energy: float
+
+    @property
+    def latency(self) -> float:
+        """Completion time minus the time the newest covered frame was ready."""
+        return self.end_time - self.dispatch_time
+
+
+@dataclass
+class PipelineReport:
+    """Aggregate statistics of one pipeline run over a sequence."""
+
+    records: List[InferenceRecord] = field(default_factory=list)
+    frames_generated: int = 0
+    frames_merged: int = 0
+    frames_dropped: int = 0
+
+    @property
+    def num_inferences(self) -> int:
+        """Number of network invocations performed."""
+        return len(self.records)
+
+    @property
+    def total_time(self) -> float:
+        """Wall-clock completion time of the last inference."""
+        return max((r.end_time for r in self.records), default=0.0)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean per-inference latency (dispatch to completion), seconds."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.latency for r in self.records]))
+
+    @property
+    def total_energy(self) -> float:
+        """Total energy in joules."""
+        return float(sum(r.energy for r in self.records))
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Mean input occupancy across inferences."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.occupancy for r in self.records]))
+
+
+# ----------------------------------------------------------------------
+# typed events
+# ----------------------------------------------------------------------
+@dataclass
+class SimEvent:
+    """Base class of all kernel events.
+
+    ``PRIORITY`` orders events scheduled at the same timestamp: completions
+    (which free devices) are processed first, then queue evictions, then
+    batch dispatches, then new frame arrivals, and finally end-of-stream
+    flushes.  Within one priority class events are FIFO.
+    """
+
+    time: float
+    stream: str = ""
+
+    PRIORITY = 5
+
+    def trace_detail(self) -> str:
+        """Short human-readable payload summary for the kernel trace."""
+        return ""
+
+
+@dataclass
+class InferenceDone(SimEvent):
+    """An inference finished; carries the per-stream records it produced."""
+
+    records: Tuple[InferenceRecord, ...] = ()
+
+    PRIORITY = 0
+
+    def trace_detail(self) -> str:
+        frames = sum(r.num_frames for r in self.records)
+        return f"records={len(self.records)} frames={frames}"
+
+
+@dataclass
+class QueueEvict(SimEvent):
+    """Frames were evicted from a bounded queue (backlog or staleness)."""
+
+    num_frames: int = 1
+    reason: str = "backlog"
+
+    PRIORITY = 1
+
+    def trace_detail(self) -> str:
+        return f"frames={self.num_frames} reason={self.reason}"
+
+
+@dataclass
+class DispatchBatch(SimEvent):
+    """A merged batch was handed to the inference queue of its stream."""
+
+    batch: Optional[SparseFrameBatch] = None
+
+    PRIORITY = 2
+
+    def trace_detail(self) -> str:
+        return f"frames={len(self.batch) if self.batch is not None else 0}"
+
+
+@dataclass
+class FrameReady(SimEvent):
+    """A sparse frame became available on a traffic stream."""
+
+    frame: Optional[SparseFrame] = None
+
+    PRIORITY = 3
+
+    def trace_detail(self) -> str:
+        if self.frame is None:
+            return ""
+        return f"density={self.frame.density:.4f}"
+
+
+@dataclass
+class StreamEnd(SimEvent):
+    """A traffic stream produced its last frame (triggers a final flush)."""
+
+    PRIORITY = 4
+
+
+# ----------------------------------------------------------------------
+# kernel
+# ----------------------------------------------------------------------
+class SimulationKernel:
+    """Priority-queue event loop with per-resource busy tracking.
+
+    Parameters
+    ----------
+    trace:
+        Optional event sink (e.g. :class:`repro.runtime.tracer.KernelTrace`);
+        every processed event is passed to ``trace.record(event)``.
+    """
+
+    def __init__(self, trace: Optional[object] = None) -> None:
+        self._heap: List[Tuple[float, int, int, SimEvent]] = []
+        self._seq = itertools.count()
+        self._handlers: Dict[type, List[Tuple[Optional[str], Callable[[SimEvent], None]]]] = {}
+        self._busy: Dict[str, float] = {}
+        self.now = 0.0
+        self.events_processed = 0
+        self.trace = trace
+
+    # -- scheduling ----------------------------------------------------
+    def schedule(self, event: SimEvent) -> None:
+        """Enqueue ``event``; scheduling into the past is a client bug."""
+        if event.time < self.now - 1e-12:
+            raise ValueError(
+                f"cannot schedule {type(event).__name__} at t={event.time} "
+                f"before kernel time t={self.now}"
+            )
+        heapq.heappush(self._heap, (event.time, event.PRIORITY, next(self._seq), event))
+
+    def on(
+        self,
+        event_type: type,
+        handler: Callable[[SimEvent], None],
+        stream: Optional[str] = None,
+    ) -> None:
+        """Register ``handler`` for events of ``event_type``.
+
+        With ``stream`` given, only events carrying that stream name are
+        delivered; handlers registered with ``stream=None`` see every event
+        of the type.
+        """
+        self._handlers.setdefault(event_type, []).append((stream, handler))
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events in time/priority order; return the final time."""
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            time, _, _, event = heapq.heappop(self._heap)
+            self.now = time
+            self.events_processed += 1
+            if self.trace is not None:
+                self.trace.record(event)
+            for stream, handler in self._handlers.get(type(event), []):
+                if stream is None or stream == event.stream:
+                    handler(event)
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)
+
+    # -- resources -----------------------------------------------------
+    def busy_until(self, *resources: str) -> float:
+        """Latest time any of ``resources`` is occupied (0 when never used)."""
+        if not resources:
+            return 0.0
+        return max(self._busy.get(r, 0.0) for r in resources)
+
+    def acquire(
+        self, resources: Tuple[str, ...], ready_time: float, duration: float
+    ) -> Tuple[float, float]:
+        """Reserve ``resources`` for ``duration`` starting when all are free.
+
+        Returns ``(start, end)`` with ``start = max(ready_time, busy)``; the
+        caller is queued behind earlier reservations, which is how the
+        kernel models serial accelerator occupancy.
+        """
+        start = max(ready_time, self.busy_until(*resources))
+        end = start + duration
+        for r in resources:
+            self._busy[r] = end
+        return start, end
+
+    def resource_busy_times(self) -> Dict[str, float]:
+        """Snapshot of each resource's busy-until time."""
+        return dict(self._busy)
+
+
+# ----------------------------------------------------------------------
+# memoized cost models
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LayerCost:
+    """Memoized latency/energy of one layer execution."""
+
+    latency: float
+    energy: float
+
+
+class LayerCostTable:
+    """Memo table for per-layer latency and energy.
+
+    Entries are keyed on ``(layer, pe, precision, sparse, occupancy-bucket,
+    batch)``.  With ``occupancy_resolution=None`` (the default) the bucket is
+    the exact occupancy value — results are bit-for-bit identical to calling
+    the latency/energy models directly, and repeated occupancies (the dense
+    path always passes 1.0) still hit the cache.  A positive resolution
+    quantizes the occupancy to that grid before *both* keying and computing,
+    trading a bounded modelling error for a much higher hit rate under heavy
+    multi-stream traffic.
+    """
+
+    def __init__(
+        self,
+        latency_model: Optional[LatencyModel] = None,
+        energy_model: Optional[EnergyModel] = None,
+        occupancy_resolution: Optional[float] = None,
+    ) -> None:
+        if occupancy_resolution is not None and not 0 < occupancy_resolution <= 1:
+            raise ValueError("occupancy_resolution must be in (0, 1] or None")
+        self.latency_model = latency_model or LatencyModel()
+        self.energy_model = energy_model or EnergyModel(self.latency_model)
+        self.occupancy_resolution = occupancy_resolution
+        self._cache: Dict[tuple, LayerCost] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def bucket(self, occupancy: Optional[float]) -> Optional[float]:
+        """Quantize an occupancy to its bucket representative (clamped [0, 1])."""
+        if occupancy is None:
+            return None
+        occupancy = min(max(float(occupancy), 0.0), 1.0)
+        if not self.occupancy_resolution:
+            return occupancy
+        steps = round(occupancy / self.occupancy_resolution)
+        return min(steps * self.occupancy_resolution, 1.0)
+
+    def layer_cost(
+        self,
+        layer: LayerSpec,
+        pe: ProcessingElement,
+        precision: Precision,
+        sparse: bool = False,
+        occupancy: Optional[float] = None,
+        batch: int = 1,
+    ) -> LayerCost:
+        """Memoized ``(latency, energy)`` of one layer execution."""
+        occ = self.bucket(occupancy)
+        key = (layer, pe.name, precision, sparse, occ, batch)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        latency = self.latency_model.layer_latency(
+            layer, pe, precision, sparse=sparse, occupancy=occ, batch=batch
+        ).total
+        energy = self.energy_model.layer_energy(
+            layer, pe, precision, sparse=sparse, occupancy=occ, batch=batch
+        ).total
+        cost = LayerCost(latency, energy)
+        self._cache[key] = cost
+        return cost
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters and current table size."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._cache)}
+
+
+class NetworkCostModel:
+    """Whole-network inference cost under one fixed mapping and config.
+
+    The layer→(PE, precision) assignment is resolved once at construction
+    (the same rules the seed pipeline applied per call: NMP mapping when
+    enabled, GPU + baseline precision otherwise, GPU fallback for layers the
+    assigned device cannot run).  Inference costs are memoized on
+    ``(occupancy-bucket, batch)`` so the layer graph is walked once per
+    distinct operating point instead of once per inference.
+    """
+
+    def __init__(
+        self,
+        network: LayerGraph,
+        platform: Platform,
+        config: Optional[EvEdgeConfig] = None,
+        mapping: Optional[MappingCandidate] = None,
+        table: Optional[LayerCostTable] = None,
+    ) -> None:
+        self.network = network
+        self.platform = platform
+        self.config = config or EvEdgeConfig()
+        self.mapping = mapping
+        self.table = table or LayerCostTable()
+        self._specs = [spec for spec in network.layers() if spec.kind.is_compute]
+        self._assignments: List[Tuple[LayerSpec, ProcessingElement, Precision]] = []
+        for spec in self._specs:
+            pe, precision = self._assignment_for(spec.name)
+            if not pe.supports_layer(spec):
+                pe = self.platform.gpu()
+            self._assignments.append((spec, pe, precision))
+        seen: List[str] = []
+        for _, pe, _ in self._assignments:
+            if pe.name not in seen:
+                seen.append(pe.name)
+        self._pes_used = tuple(seen)
+        self._cache: Dict[tuple, Tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    def _assignment_for(self, node_name: str) -> Tuple[ProcessingElement, Precision]:
+        """(pe, precision) of one layer under the active mapping."""
+        gpu = self.platform.gpu()
+        if self.mapping is None or not self.config.optimization.uses_nmp:
+            return gpu, self.config.baseline_precision
+        full_node = f"{self.network.name}.{node_name}"
+        if full_node in self.mapping:
+            assignment = self.mapping[full_node]
+        elif node_name in self.mapping:
+            assignment = self.mapping[node_name]
+        else:
+            return gpu, self.config.baseline_precision
+        return self.platform.pe(assignment.pe), assignment.precision
+
+    @property
+    def pes_used(self) -> Tuple[str, ...]:
+        """Names of the processing elements this network's mapping occupies."""
+        return self._pes_used
+
+    @property
+    def uses_sparse(self) -> bool:
+        """True when the configured optimization level executes sparse kernels."""
+        return self.config.optimization.uses_sparse
+
+    def signature(self) -> tuple:
+        """Identity of the (network, mapping, config) cost surface.
+
+        Streams with equal signatures run the same computation and may be
+        batched together by the traffic simulator.  The layer specs are part
+        of the identity: two networks that share a name but differ
+        structurally (e.g. the same zoo model built at two resolutions) must
+        not share a cost model or an execution server.
+        """
+        mapping_key = None if self.mapping is None else self.mapping.key()
+        return (
+            self.network.name,
+            tuple(self._specs),
+            mapping_key,
+            self.config.optimization,
+            self.config.baseline_precision,
+        )
+
+    # ------------------------------------------------------------------
+    def inference_cost(self, occupancy: float, batch: int) -> Tuple[float, float]:
+        """Memoized latency and energy of one network invocation.
+
+        The measured occupancy of the merged input drives the first layer;
+        deeper layers use their modelled activation sparsity.  When producer
+        and consumer layers sit on different devices a unified-memory
+        transfer is added (execution is serial, so transfers are summed).
+        """
+        occ_key = self.table.bucket(occupancy)
+        key = (occ_key, batch)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        sparse = self.uses_sparse
+        total_latency = 0.0
+        total_energy = 0.0
+        previous_pe = None
+        previous_spec = None
+        previous_precision = None
+        first = True
+        for spec, pe, precision in self._assignments:
+            occ = occ_key if first else None
+            layer_sparse = sparse and pe.supports_sparse
+            cost = self.table.layer_cost(
+                spec, pe, precision, sparse=layer_sparse, occupancy=occ, batch=batch
+            )
+            total_latency += cost.latency
+            total_energy += cost.energy
+            if previous_pe is not None and previous_pe.name != pe.name:
+                transfer_bytes = previous_spec.output_bytes(previous_precision) * batch
+                total_latency += self.platform.transfer_time(
+                    transfer_bytes, previous_pe.name, pe.name
+                )
+                total_energy += self.table.energy_model.transfer_energy(transfer_bytes)
+            previous_pe, previous_spec, previous_precision = pe, spec, precision
+            first = False
+        result = (total_latency, total_energy)
+        self._cache[key] = result
+        return result

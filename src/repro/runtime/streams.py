@@ -1,0 +1,547 @@
+"""Traffic streams and the multi-stream traffic simulator.
+
+A :class:`StreamSource` wraps one traffic source — an
+:class:`~repro.events.datasets.EventSequence`, the network that consumes it,
+and its :class:`~repro.core.config.EvEdgeConfig` (plus an optional NMP
+mapping and a start offset) — into something the simulation kernel can
+schedule.  :class:`StreamClient` is the per-stream protocol driver: it turns
+``FrameReady`` events into DSFA pushes (or the bounded-queue drop logic of
+the no-DSFA path), emits ``DispatchBatch`` events and accounts the resulting
+``InferenceDone`` records into a per-stream
+:class:`~repro.runtime.sim.PipelineReport`.
+
+Two executors give dispatches their hardware semantics:
+
+* :class:`SerialExecutor` — the whole platform is one serial accelerator
+  (the seed pipeline's scalar ``busy_until``); dispatches queue behind each
+  other.  ``EvEdgePipeline.run`` uses this to stay report-for-report
+  identical with the seed.
+* :class:`SignatureServer` — used by :class:`MultiStreamSimulator`; one
+  server per distinct (network, mapping, config) signature, occupying the
+  PEs its mapping touches.  Dispatches arriving while those PEs are busy
+  wait in a bounded per-stream pending queue (oldest entries are evicted
+  with ``QueueEvict`` once a stream exceeds its ``inference_queue_depth``)
+  and are merged — cross-stream batching — into one batched inference when
+  the devices free up.
+
+:class:`MultiStreamSimulator` multiplexes N heterogeneous streams onto one
+:class:`~repro.hw.pe.Platform` with per-PE busy tracking, sharing a single
+:class:`~repro.runtime.sim.LayerCostTable` across all streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import EvEdgeConfig
+from ..core.dsfa import DynamicSparseFrameAggregator
+from ..core.e2sf import Event2SparseFrameConverter
+from ..core.nmp.candidate import MappingCandidate
+from ..events.datasets import EventSequence
+from ..frames.sparse import SparseFrame, SparseFrameBatch
+from ..hw.energy import EnergyModel
+from ..hw.latency import LatencyModel
+from ..hw.pe import Platform
+from ..nn.graph import LayerGraph
+from .sim import (
+    DispatchBatch,
+    FrameReady,
+    InferenceDone,
+    InferenceRecord,
+    LayerCostTable,
+    NetworkCostModel,
+    PipelineReport,
+    QueueEvict,
+    SimulationKernel,
+    StreamEnd,
+)
+from .tracer import KernelTrace
+
+__all__ = [
+    "StreamSource",
+    "StreamClient",
+    "SerialExecutor",
+    "SignatureServer",
+    "MultiStreamReport",
+    "MultiStreamSimulator",
+]
+
+
+@dataclass
+class StreamSource:
+    """One traffic source: an event sequence feeding one network.
+
+    Attributes
+    ----------
+    name:
+        Unique stream name within a simulation (e.g. ``"cam0:spikeflownet"``).
+    sequence:
+        The recorded/generated event sequence driving the stream.
+    network:
+        The network that consumes the stream's sparse frames.
+    config:
+        Pipeline configuration (optimization level, E2SF bins, DSFA knobs).
+    mapping:
+        Optional NMP mapping used when the config enables NMP.
+    start_offset:
+        Shift (seconds) applied to the stream's arrival times, so traffic
+        from many sensors can be phase-staggered on one platform.
+    """
+
+    name: str
+    sequence: EventSequence
+    network: LayerGraph
+    config: EvEdgeConfig = field(default_factory=EvEdgeConfig)
+    mapping: Optional[MappingCandidate] = None
+    start_offset: float = 0.0
+
+    def generate_frames(self) -> List[Tuple[float, SparseFrame]]:
+        """Render the stream as ``(arrival_time, sparse_frame)`` pairs.
+
+        A frame becomes available when its event bin closes (``t_end``),
+        shifted by the stream's ``start_offset``.
+        """
+        converter = Event2SparseFrameConverter(self.config.num_bins)
+        timestamps = self.sequence.frame_timestamps
+        out: List[Tuple[float, SparseFrame]] = []
+        for i in range(self.sequence.num_intervals):
+            frames = converter.convert(
+                self.sequence.events, float(timestamps[i]), float(timestamps[i + 1])
+            )
+            for frame in frames:
+                out.append((frame.t_end + self.start_offset, frame))
+        return out
+
+    @property
+    def end_time(self) -> float:
+        """Kernel time of the stream's last grayscale frame anchor."""
+        timestamps = self.sequence.frame_timestamps
+        if timestamps.size == 0:
+            return self.start_offset
+        return float(timestamps[-1]) + self.start_offset
+
+
+class SerialExecutor:
+    """Whole-platform serial accelerator (the seed's scalar ``busy_until``).
+
+    Every dispatch is queued immediately: it starts at
+    ``max(dispatch_time, busy_until)`` and occupies the single shared
+    resource until it completes, regardless of which PEs the mapping uses —
+    single-task execution is serial end to end.
+    """
+
+    def __init__(self, kernel: SimulationKernel, resource: str = "platform") -> None:
+        self.kernel = kernel
+        self.resource = resource
+
+    def busy_until(self, client: "StreamClient") -> float:
+        """Time the accelerator frees up."""
+        return self.kernel.busy_until(self.resource)
+
+    def dispatch(self, client: "StreamClient", batch: SparseFrameBatch, time: float) -> None:
+        """Execute ``batch`` for ``client``, queuing behind earlier work."""
+        occupancy = batch.mean_density if client.cost_model.uses_sparse else 1.0
+        latency, energy = client.cost_model.inference_cost(
+            max(occupancy, 1e-4), max(len(batch), 1)
+        )
+        start, end = self.kernel.acquire((self.resource,), time, latency)
+        client.note_dispatch(latency)
+        record = InferenceRecord(
+            dispatch_time=time,
+            start_time=start,
+            end_time=end,
+            num_frames=len(batch),
+            occupancy=occupancy,
+            energy=energy,
+        )
+        self.kernel.schedule(
+            InferenceDone(time=end, stream=client.name, records=(record,))
+        )
+
+
+@dataclass
+class _PendingDispatch:
+    client: "StreamClient"
+    batch: SparseFrameBatch
+    time: float
+
+
+class SignatureServer:
+    """Serial server for all streams sharing one network signature.
+
+    The server occupies the PEs its cost model's mapping uses.  A dispatch
+    arriving while the server is idle executes immediately; otherwise it
+    waits in a pending queue bounded per stream by that stream's
+    ``inference_queue_depth`` (the oldest pending entry is evicted when the
+    bound is exceeded).  When an inference completes, up to
+    ``max_merge_streams`` pending dispatches are concatenated into one
+    batched inference — cross-stream batching amortises kernel-launch and
+    weight-traffic costs exactly like DSFA's within-stream merging.
+    """
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        cost_model: NetworkCostModel,
+        name: str,
+        max_merge_streams: int = 4,
+    ) -> None:
+        if max_merge_streams < 1:
+            raise ValueError("max_merge_streams must be >= 1")
+        self.kernel = kernel
+        self.cost_model = cost_model
+        self.name = name
+        self.max_merge_streams = max_merge_streams
+        self.pending: List[_PendingDispatch] = []
+        self.inferences = 0
+        self.merged_dispatches = 0
+        kernel.on(InferenceDone, self._on_done, stream=name)
+
+    # ------------------------------------------------------------------
+    def busy_until(self, client: "StreamClient") -> float:
+        """Time every PE of this server's mapping frees up."""
+        return self.kernel.busy_until(*self.cost_model.pes_used)
+
+    def dispatch(self, client: "StreamClient", batch: SparseFrameBatch, time: float) -> None:
+        """Execute immediately when idle, else enqueue (bounded per stream)."""
+        busy = self.busy_until(client)
+        if not self.pending and busy <= time:
+            self._execute([_PendingDispatch(client, batch, time)], time)
+            return
+        mine = [p for p in self.pending if p.client is client]
+        if len(mine) >= client.queue_depth:
+            oldest = mine[0]
+            self.pending.remove(oldest)
+            client.report.frames_dropped += len(oldest.batch)
+            self.kernel.schedule(
+                QueueEvict(
+                    time=time,
+                    stream=client.name,
+                    num_frames=len(oldest.batch),
+                    reason="queue-full",
+                )
+            )
+        self.pending.append(_PendingDispatch(client, batch, time))
+        # The PEs may be held by a *different* server (shared devices), whose
+        # completion events never reach this server's stream — schedule an
+        # explicit wake-up at the busy frontier so the queue always drains.
+        self.kernel.schedule(
+            InferenceDone(time=max(busy, time), stream=self.name, records=())
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(self, members: List[_PendingDispatch], ready_time: float) -> None:
+        combined = SparseFrameBatch.concatenate([m.batch for m in members])
+        sparse = self.cost_model.uses_sparse
+        occupancy = combined.mean_density if sparse else 1.0
+        latency, energy = self.cost_model.inference_cost(
+            max(occupancy, 1e-4), max(len(combined), 1)
+        )
+        start, end = self.kernel.acquire(self.cost_model.pes_used, ready_time, latency)
+        self.inferences += 1
+        if len(members) > 1:
+            self.merged_dispatches += len(members)
+        total_frames = max(len(combined), 1)
+        for member in members:
+            share = len(member.batch) / total_frames
+            record = InferenceRecord(
+                dispatch_time=member.time,
+                start_time=start,
+                end_time=end,
+                num_frames=len(member.batch),
+                occupancy=member.batch.mean_density if sparse else 1.0,
+                energy=energy * share,
+            )
+            member.client.note_dispatch(latency)
+            self.kernel.schedule(
+                InferenceDone(time=end, stream=member.client.name, records=(record,))
+            )
+        # The server's own completion event drives pending-queue draining.
+        self.kernel.schedule(InferenceDone(time=end, stream=self.name, records=()))
+
+    def _on_done(self, event: InferenceDone) -> None:
+        if not self.pending:
+            return
+        busy = self.busy_until(None)
+        if busy > event.time:
+            # A server sharing one of our PEs is still running; retry when
+            # the devices free up.
+            self.kernel.schedule(
+                InferenceDone(time=busy, stream=self.name, records=())
+            )
+            return
+        members = self.pending[: self.max_merge_streams]
+        del self.pending[: self.max_merge_streams]
+        self._execute(members, event.time)
+
+
+class StreamClient:
+    """Per-stream protocol driver on the simulation kernel.
+
+    Replays the exact frame-handling protocol of the seed pipeline: DSFA
+    buffering with hardware-availability dispatch when enabled, otherwise
+    per-frame execution with the bounded-backlog drop rule.
+    """
+
+    def __init__(
+        self,
+        source: StreamSource,
+        kernel: SimulationKernel,
+        executor,
+        cost_model: NetworkCostModel,
+    ) -> None:
+        self.source = source
+        self.name = source.name
+        self.kernel = kernel
+        self.executor = executor
+        self.cost_model = cost_model
+        self.config = source.config
+        self.queue_depth = source.config.dsfa.inference_queue_depth
+        self.report = PipelineReport()
+        self.aggregator = (
+            DynamicSparseFrameAggregator(source.config.dsfa)
+            if source.config.optimization.uses_dsfa
+            else None
+        )
+        self._last_duration = 0.0
+        kernel.on(FrameReady, self._on_frame, stream=self.name)
+        kernel.on(DispatchBatch, self._on_dispatch, stream=self.name)
+        kernel.on(InferenceDone, self._on_done, stream=self.name)
+        kernel.on(StreamEnd, self._on_stream_end, stream=self.name)
+
+    # ------------------------------------------------------------------
+    def prime(self) -> None:
+        """Schedule the stream's frame arrivals and end-of-stream flush."""
+        frames = self.source.generate_frames()
+        self.report.frames_generated += len(frames)
+        for arrival, frame in frames:
+            self.kernel.schedule(FrameReady(time=arrival, stream=self.name, frame=frame))
+        if frames:
+            # The last bin's computed t_end can differ from the final
+            # grayscale timestamp by a few ulps; the flush must still come
+            # after every frame arrival.
+            last_arrival = frames[-1][0]
+            self.kernel.schedule(
+                StreamEnd(
+                    time=max(self.source.end_time, last_arrival), stream=self.name
+                )
+            )
+
+    def note_dispatch(self, duration: float) -> None:
+        """Record the duration of the stream's most recently started inference."""
+        self._last_duration = duration
+
+    # ------------------------------------------------------------------
+    def _on_frame(self, event: FrameReady) -> None:
+        arrival = event.time
+        frame = event.frame
+        if self.aggregator is not None:
+            hardware_available = arrival >= self.executor.busy_until(self)
+            # DSFA's internal inference queue (and its discarded_frames
+            # counter) is not consumed here: every dispatched batch executes
+            # immediately, so its evictions are bookkeeping, not real drops.
+            batch = self.aggregator.push(frame, hardware_available=hardware_available)
+            if batch is not None:
+                self.report.frames_merged += len(batch)
+                self.kernel.schedule(
+                    DispatchBatch(time=arrival, stream=self.name, batch=batch)
+                )
+            return
+        # Without DSFA every frame is processed individually.  A real
+        # deployment bounds its input queue, so when the backlog exceeds
+        # ``inference_queue_depth`` inferences the oldest frame is dropped
+        # instead of queued forever.
+        backlog = self.executor.busy_until(self) - arrival
+        if backlog > self.queue_depth * max(self._last_duration, 1e-9):
+            self.report.frames_dropped += 1
+            self.kernel.schedule(
+                QueueEvict(time=arrival, stream=self.name, num_frames=1, reason="backlog")
+            )
+            return
+        self.kernel.schedule(
+            DispatchBatch(
+                time=arrival, stream=self.name, batch=SparseFrameBatch([frame])
+            )
+        )
+
+    def _on_stream_end(self, event: StreamEnd) -> None:
+        if self.aggregator is None:
+            return
+        batch = self.aggregator.flush()
+        if batch is not None:
+            self.report.frames_merged += len(batch)
+            # The flush is anchored to the final grayscale timestamp (the
+            # seed's behaviour), not to the possibly ulp-later flush event.
+            self.kernel.schedule(
+                DispatchBatch(
+                    time=self.source.end_time, stream=self.name, batch=batch
+                )
+            )
+
+    def _on_dispatch(self, event: DispatchBatch) -> None:
+        self.executor.dispatch(self, event.batch, event.time)
+
+    def _on_done(self, event: InferenceDone) -> None:
+        self.report.records.extend(event.records)
+
+
+# ----------------------------------------------------------------------
+# multi-stream traffic simulation
+# ----------------------------------------------------------------------
+@dataclass
+class MultiStreamReport:
+    """Per-stream and aggregate statistics of one traffic simulation."""
+
+    reports: Dict[str, PipelineReport]
+    end_time: float
+    trace: Optional[KernelTrace] = None
+    cache_info: Optional[Dict[str, int]] = None
+
+    @property
+    def num_streams(self) -> int:
+        """Number of simulated streams."""
+        return len(self.reports)
+
+    @property
+    def total_inferences(self) -> int:
+        """Network invocations across all streams (merged runs count once per stream)."""
+        return sum(r.num_inferences for r in self.reports.values())
+
+    @property
+    def frames_generated(self) -> int:
+        """Sparse frames produced across all streams."""
+        return sum(r.frames_generated for r in self.reports.values())
+
+    @property
+    def frames_dropped(self) -> int:
+        """Frames dropped by backlog bounds across all streams."""
+        return sum(r.frames_dropped for r in self.reports.values())
+
+    @property
+    def total_energy(self) -> float:
+        """Total energy in joules across all streams."""
+        return float(sum(r.total_energy for r in self.reports.values()))
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last inference across all streams."""
+        return max((r.total_time for r in self.reports.values()), default=0.0)
+
+    @property
+    def throughput(self) -> float:
+        """Processed (non-dropped) frames per second of simulated time."""
+        processed = self.frames_generated - self.frames_dropped
+        makespan = self.makespan
+        if makespan <= 0:
+            return 0.0
+        return processed / makespan
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean dispatch-to-completion latency across every inference."""
+        latencies = [
+            r.latency for report in self.reports.values() for r in report.records
+        ]
+        if not latencies:
+            return 0.0
+        return float(np.mean(latencies))
+
+    def per_stream_rows(self) -> List[Dict[str, object]]:
+        """Table rows (one per stream) for the experiment harnesses."""
+        return [
+            {
+                "stream": name,
+                "inferences": report.num_inferences,
+                "mean_latency_ms": report.mean_latency * 1e3,
+                "frames_generated": report.frames_generated,
+                "frames_dropped": report.frames_dropped,
+                "energy_j": report.total_energy,
+            }
+            for name, report in self.reports.items()
+        ]
+
+
+class MultiStreamSimulator:
+    """Multiplex N heterogeneous traffic streams onto one platform.
+
+    Parameters
+    ----------
+    platform:
+        The shared heterogeneous platform.
+    sources:
+        The traffic streams.  Stream names must be unique.
+    latency_model / energy_model:
+        Shared hardware models (defaults match the pipeline's).
+    occupancy_resolution:
+        Occupancy bucket width of the shared :class:`LayerCostTable`.  The
+        default (1/64) keeps the modelling error well below the run-to-run
+        variation of real hardware while making the per-layer cache hit on
+        virtually every inference under heavy traffic.
+    max_merge_streams:
+        Upper bound on cross-stream batching (1 disables merging).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        sources: Sequence[StreamSource],
+        latency_model: Optional[LatencyModel] = None,
+        energy_model: Optional[EnergyModel] = None,
+        occupancy_resolution: Optional[float] = 1.0 / 64.0,
+        max_merge_streams: int = 4,
+    ) -> None:
+        if not sources:
+            raise ValueError("at least one stream source is required")
+        names = [s.name for s in sources]
+        if len(set(names)) != len(names):
+            raise ValueError("stream names must be unique")
+        self.platform = platform
+        self.sources = list(sources)
+        self.table = LayerCostTable(
+            latency_model, energy_model, occupancy_resolution=occupancy_resolution
+        )
+        self.max_merge_streams = max_merge_streams
+
+    def run(self, trace: Optional[KernelTrace] = None) -> MultiStreamReport:
+        """Simulate all streams to completion and return the traffic report."""
+        kernel = SimulationKernel(trace=trace)
+        cost_models: Dict[tuple, NetworkCostModel] = {}
+        servers: Dict[tuple, SignatureServer] = {}
+        clients: List[StreamClient] = []
+        for source in self.sources:
+            model = NetworkCostModel(
+                source.network,
+                self.platform,
+                config=source.config,
+                mapping=source.mapping,
+                table=self.table,
+            )
+            signature = model.signature()
+            if signature not in servers:
+                cost_models[signature] = model
+                servers[signature] = SignatureServer(
+                    kernel,
+                    model,
+                    name=f"server:{source.network.name}:{len(servers)}",
+                    max_merge_streams=self.max_merge_streams,
+                )
+            clients.append(
+                StreamClient(
+                    source,
+                    kernel,
+                    executor=servers[signature],
+                    cost_model=cost_models[signature],
+                )
+            )
+        for client in clients:
+            client.prime()
+        end_time = kernel.run()
+        return MultiStreamReport(
+            reports={c.name: c.report for c in clients},
+            end_time=end_time,
+            trace=trace,
+            cache_info=self.table.cache_info(),
+        )

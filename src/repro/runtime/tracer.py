@@ -1,17 +1,102 @@
-"""Timeline (Gantt) extraction from schedule results.
+"""Execution timelines: kernel event traces and schedule Gantt charts.
 
-The experiments and examples use these helpers to render a textual Gantt
-chart of which layer ran where — convenient for inspecting why one mapping
-beats another without a plotting stack.
+Two tracing surfaces live here:
+
+* :class:`KernelTrace` records every event the simulation kernel processes
+  (frame arrivals, dispatches, completions, evictions), so any kernel
+  client — the single-stream pipeline or the multi-stream traffic
+  simulator — gets a per-stream timeline for free.
+* The Gantt helpers (:func:`timeline_by_device`, :func:`utilisation`,
+  :func:`format_gantt`) render static list-scheduler results, convenient
+  for inspecting why one mapping beats another without a plotting stack.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..core.nmp.scheduler import ScheduledNode, ScheduleResult
 
-__all__ = ["timeline_by_device", "utilisation", "format_gantt"]
+__all__ = [
+    "TraceEntry",
+    "KernelTrace",
+    "timeline_by_device",
+    "utilisation",
+    "format_gantt",
+]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One processed kernel event."""
+
+    time: float
+    kind: str
+    stream: str
+    detail: str = ""
+
+
+class KernelTrace:
+    """Chronological record of the events a simulation kernel processed.
+
+    Pass an instance as the kernel's ``trace`` (or to
+    ``EvEdgePipeline.run`` / ``MultiStreamSimulator.run``); after the run it
+    holds one :class:`TraceEntry` per processed event.
+    """
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be >= 1 or None")
+        self.entries: List[TraceEntry] = []
+        self.max_events = max_events
+        self.dropped_entries = 0
+
+    def record(self, event) -> None:
+        """Append one kernel event (called by the kernel itself)."""
+        if self.max_events is not None and len(self.entries) >= self.max_events:
+            self.dropped_entries += 1
+            return
+        self.entries.append(
+            TraceEntry(
+                time=event.time,
+                kind=type(event).__name__,
+                stream=event.stream,
+                detail=event.trace_detail(),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def by_stream(self) -> Dict[str, List[TraceEntry]]:
+        """Group entries by the stream that produced them."""
+        grouped: Dict[str, List[TraceEntry]] = {}
+        for entry in self.entries:
+            grouped.setdefault(entry.stream, []).append(entry)
+        return grouped
+
+    def counts(self) -> Dict[str, int]:
+        """Number of processed events per event kind."""
+        out: Dict[str, int] = {}
+        for entry in self.entries:
+            out[entry.kind] = out.get(entry.kind, 0) + 1
+        return out
+
+    def format_log(self, max_rows: int = 40) -> str:
+        """Render the first ``max_rows`` entries as an aligned event log."""
+        if not self.entries:
+            return "(empty trace)"
+        lines = []
+        for entry in self.entries[:max_rows]:
+            lines.append(
+                f"{entry.time * 1e3:10.3f} ms  {entry.kind:<14s} "
+                f"{entry.stream:<24s} {entry.detail}"
+            )
+        hidden = max(len(self.entries) - max_rows, 0) + self.dropped_entries
+        if hidden > 0:
+            lines.append(f"... {hidden} more events")
+        return "\n".join(lines)
 
 
 def timeline_by_device(result: ScheduleResult) -> Dict[str, List[ScheduledNode]]:

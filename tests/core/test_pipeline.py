@@ -86,3 +86,117 @@ class TestPipeline:
         assert report.total_time == 0.0
         assert report.mean_occupancy == 0.0
         assert report.num_inferences == 0
+
+    def test_no_dsfa_backlog_drops_frames(self, platform, sequence):
+        """Without DSFA a burst beyond ``inference_queue_depth`` sheds load."""
+        heavy = build_network("adaptive_spikenet")
+        config = EvEdgeConfig(
+            num_bins=20,
+            optimization=OptimizationLevel.E2SF,
+            dsfa=DSFAConfig(inference_queue_depth=1),
+        )
+        report = EvEdgePipeline(heavy, platform, config).run(sequence)
+        assert report.frames_dropped > 0
+        # Every generated frame is either executed individually or dropped.
+        assert report.num_inferences + report.frames_dropped == report.frames_generated
+        assert all(r.num_frames == 1 for r in report.records)
+
+    def test_kernel_run_matches_seed_reference(self, network, platform, sequence):
+        """``run()`` on the event kernel must replay the seed's inline loop
+        record for record (same dispatch/start/end times, energy, counters)."""
+        from repro.core.dsfa import DynamicSparseFrameAggregator
+        from repro.core.e2sf import Event2SparseFrameConverter
+        from repro.core.pipeline import InferenceRecord, PipelineReport
+        from repro.frames.sparse import SparseFrameBatch
+
+        def reference_run(pipeline, seq):
+            report = PipelineReport()
+            aggregator = (
+                DynamicSparseFrameAggregator(pipeline.config.dsfa)
+                if pipeline.config.optimization.uses_dsfa
+                else None
+            )
+            converter = Event2SparseFrameConverter(pipeline.config.num_bins)
+            busy_until = 0.0
+
+            def execute(batch, dispatch_time, busy_until):
+                occupancy = (
+                    batch.mean_density
+                    if pipeline.config.optimization.uses_sparse
+                    else 1.0
+                )
+                latency, energy = pipeline.inference_time_and_energy(
+                    max(occupancy, 1e-4), max(len(batch), 1)
+                )
+                start = max(dispatch_time, busy_until)
+                report.records.append(
+                    InferenceRecord(
+                        dispatch_time, start, start + latency,
+                        len(batch), occupancy, energy,
+                    )
+                )
+                return start + latency
+
+            timestamps = seq.frame_timestamps
+            for i in range(seq.num_intervals):
+                frames = converter.convert(
+                    seq.events, float(timestamps[i]), float(timestamps[i + 1])
+                )
+                report.frames_generated += len(frames)
+                for frame in frames:
+                    arrival = frame.t_end
+                    if aggregator is not None:
+                        batch = aggregator.push(
+                            frame, hardware_available=arrival >= busy_until
+                        )
+                        if batch is not None:
+                            busy_until = execute(batch, arrival, busy_until)
+                            report.frames_merged += len(batch)
+                    else:
+                        backlog = busy_until - arrival
+                        last = (
+                            report.records[-1].end_time - report.records[-1].start_time
+                            if report.records
+                            else 0.0
+                        )
+                        depth = pipeline.config.dsfa.inference_queue_depth
+                        if backlog > depth * max(last, 1e-9):
+                            report.frames_dropped += 1
+                            continue
+                        busy_until = execute(
+                            SparseFrameBatch([frame]), arrival, busy_until
+                        )
+            if aggregator is not None:
+                batch = aggregator.flush()
+                if batch is not None:
+                    busy_until = execute(batch, float(timestamps[-1]), busy_until)
+                    report.frames_merged += len(batch)
+            return report
+
+        for level in OptimizationLevel:
+            config = EvEdgeConfig(
+                num_bins=7,
+                dsfa=DSFAConfig(
+                    event_buffer_size=6, merge_bucket_size=3, inference_queue_depth=2
+                ),
+                optimization=level,
+            )
+            pipeline = EvEdgePipeline(network, platform, config)
+            actual = pipeline.run(sequence)
+            expected = reference_run(pipeline, sequence)
+            assert actual.records == expected.records
+            assert actual.frames_generated == expected.frames_generated
+            assert actual.frames_merged == expected.frames_merged
+            assert actual.frames_dropped == expected.frames_dropped
+
+    def test_run_with_trace_records_timeline(self, network, platform, sequence):
+        from repro.runtime import KernelTrace
+
+        config = EvEdgeConfig(num_bins=5, optimization=OptimizationLevel.E2SF_DSFA)
+        trace = KernelTrace()
+        report = EvEdgePipeline(network, platform, config).run(sequence, trace=trace)
+        counts = trace.counts()
+        assert counts["FrameReady"] == report.frames_generated
+        assert counts["DispatchBatch"] == report.num_inferences
+        assert counts["InferenceDone"] == report.num_inferences
+        assert counts["StreamEnd"] == 1

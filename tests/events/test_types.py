@@ -206,3 +206,29 @@ def test_property_slice_partition(n, seed, cut):
     left = stream.slice_time(-np.inf, cut)
     right = stream.slice_time(cut, np.inf)
     assert len(left) + len(right) == len(stream)
+
+
+class TestConcatenateGeometry:
+    def test_all_empty_inputs_preserve_geometry(self):
+        geometry = SensorGeometry(width=64, height=48)
+        merged = concatenate_streams(
+            [EventStream.empty(geometry), EventStream.empty(geometry)]
+        )
+        assert len(merged) == 0
+        assert merged.geometry == geometry
+
+    def test_all_empty_inputs_with_mixed_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate_streams(
+                [
+                    EventStream.empty(SensorGeometry(width=64, height=48)),
+                    EventStream.empty(SensorGeometry(width=32, height=24)),
+                ]
+            )
+
+    def test_empty_stream_mixed_with_events_keeps_seed_behaviour(self):
+        # Empty inputs are still filtered out before the geometry check.
+        stream = make_stream(10)
+        merged = concatenate_streams([EventStream.empty(), stream])
+        assert len(merged) == 10
+        assert merged.geometry == stream.geometry

@@ -1,0 +1,271 @@
+"""Tests for the event-driven simulation kernel and the memoized cost tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EvEdgeConfig, OptimizationLevel
+from repro.core.nmp.candidate import Assignment, MappingCandidate
+from repro.hw import EnergyModel, LatencyModel, jetson_xavier_agx
+from repro.models import build_network
+from repro.nn import Precision
+from repro.runtime import (
+    DispatchBatch,
+    FrameReady,
+    InferenceDone,
+    KernelTrace,
+    LayerCostTable,
+    NetworkCostModel,
+    QueueEvict,
+    SimulationKernel,
+    StreamEnd,
+)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return jetson_xavier_agx()
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_network("spikeflownet", 64, 64)
+
+
+class TestKernelOrdering:
+    def test_same_time_events_order_by_priority(self):
+        kernel = SimulationKernel()
+        seen = []
+        for event_type in (FrameReady, DispatchBatch, InferenceDone, QueueEvict, StreamEnd):
+            kernel.on(event_type, lambda e: seen.append(type(e).__name__))
+            kernel.schedule(event_type(time=1.0, stream="s"))
+        kernel.run()
+        assert seen == [
+            "InferenceDone",
+            "QueueEvict",
+            "DispatchBatch",
+            "FrameReady",
+            "StreamEnd",
+        ]
+
+    def test_fifo_within_one_priority_class(self):
+        kernel = SimulationKernel()
+        seen = []
+        kernel.on(FrameReady, lambda e: seen.append(e.stream))
+        for name in ("a", "b", "c"):
+            kernel.schedule(FrameReady(time=2.0, stream=name))
+        kernel.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_time_orders_before_priority(self):
+        kernel = SimulationKernel()
+        seen = []
+        kernel.on(FrameReady, lambda e: seen.append("frame"))
+        kernel.on(StreamEnd, lambda e: seen.append("end"))
+        kernel.schedule(FrameReady(time=2.0, stream="s"))
+        kernel.schedule(StreamEnd(time=1.0, stream="s"))
+        kernel.run()
+        assert seen == ["end", "frame"]
+
+    def test_scheduling_into_the_past_raises(self):
+        kernel = SimulationKernel()
+        kernel.on(FrameReady, lambda e: None)
+        kernel.schedule(FrameReady(time=1.0, stream="s"))
+        kernel.run()
+        with pytest.raises(ValueError):
+            kernel.schedule(FrameReady(time=0.5, stream="s"))
+
+    def test_stream_filtered_handlers(self):
+        kernel = SimulationKernel()
+        mine, everyone = [], []
+        kernel.on(FrameReady, lambda e: mine.append(e.stream), stream="a")
+        kernel.on(FrameReady, lambda e: everyone.append(e.stream))
+        kernel.schedule(FrameReady(time=0.0, stream="a"))
+        kernel.schedule(FrameReady(time=0.0, stream="b"))
+        kernel.run()
+        assert mine == ["a"]
+        assert everyone == ["a", "b"]
+
+    def test_handlers_can_schedule_followups(self):
+        kernel = SimulationKernel()
+        seen = []
+        kernel.on(FrameReady, lambda e: kernel.schedule(DispatchBatch(time=e.time, stream=e.stream)))
+        kernel.on(DispatchBatch, lambda e: seen.append(e.time))
+        kernel.schedule(FrameReady(time=3.0, stream="s"))
+        end = kernel.run()
+        assert seen == [3.0]
+        assert end == 3.0
+        assert kernel.pending_events == 0
+
+
+class TestKernelResources:
+    def test_acquire_queues_behind_busy_resources(self):
+        kernel = SimulationKernel()
+        start, end = kernel.acquire(("gpu",), 1.0, 2.0)
+        assert (start, end) == (1.0, 3.0)
+        start, end = kernel.acquire(("gpu",), 2.0, 1.0)
+        assert (start, end) == (3.0, 4.0)  # queued behind the first
+        assert kernel.busy_until("gpu") == 4.0
+        assert kernel.busy_until("dla0") == 0.0
+
+    def test_acquire_waits_for_all_resources(self):
+        kernel = SimulationKernel()
+        kernel.acquire(("gpu",), 0.0, 5.0)
+        start, end = kernel.acquire(("gpu", "dla0"), 1.0, 1.0)
+        assert (start, end) == (5.0, 6.0)
+        assert kernel.resource_busy_times() == {"gpu": 6.0, "dla0": 6.0}
+
+
+class TestKernelTrace:
+    def test_records_processed_events(self):
+        trace = KernelTrace()
+        kernel = SimulationKernel(trace=trace)
+        kernel.schedule(FrameReady(time=0.5, stream="cam0"))
+        kernel.schedule(QueueEvict(time=0.7, stream="cam0", num_frames=3, reason="stale"))
+        kernel.run()
+        assert len(trace) == 2
+        assert trace.counts() == {"FrameReady": 1, "QueueEvict": 1}
+        assert list(trace.by_stream()) == ["cam0"]
+        assert "stale" in trace.entries[1].detail
+        assert "QueueEvict" in trace.format_log()
+
+    def test_max_events_bound(self):
+        trace = KernelTrace(max_events=1)
+        kernel = SimulationKernel(trace=trace)
+        kernel.schedule(FrameReady(time=0.0, stream="s"))
+        kernel.schedule(FrameReady(time=1.0, stream="s"))
+        kernel.run()
+        assert len(trace) == 1
+        assert trace.dropped_entries == 1
+
+
+class TestLayerCostTable:
+    """Satellite: the memo table must agree with direct model calls."""
+
+    def test_memoized_costs_match_direct_calls(self, platform, network):
+        latency_model = LatencyModel()
+        energy_model = EnergyModel(latency_model)
+        table = LayerCostTable(latency_model, energy_model, occupancy_resolution=1 / 32)
+        gpu = platform.gpu()
+        layers = [s for s in network.layers() if s.kind.is_compute]
+        for precision in Precision.ordered():
+            for occupancy in (0.0, 0.013, 0.26, 0.5, 0.777, 1.0):
+                for spec in layers:
+                    cost = table.layer_cost(
+                        spec, gpu, precision, sparse=True, occupancy=occupancy, batch=2
+                    )
+                    bucket = table.bucket(occupancy)
+                    direct_latency = latency_model.layer_latency(
+                        spec, gpu, precision, sparse=True, occupancy=bucket, batch=2
+                    ).total
+                    direct_energy = energy_model.layer_energy(
+                        spec, gpu, precision, sparse=True, occupancy=bucket, batch=2
+                    ).total
+                    assert cost.latency == direct_latency
+                    assert cost.energy == direct_energy
+
+    def test_exact_mode_uses_raw_occupancy(self, platform, network):
+        table = LayerCostTable()
+        gpu = platform.gpu()
+        spec = next(s for s in network.layers() if s.kind.is_compute)
+        cost = table.layer_cost(spec, gpu, Precision.FP16, sparse=True, occupancy=0.1234)
+        direct = table.latency_model.layer_latency(
+            spec, gpu, Precision.FP16, sparse=True, occupancy=0.1234
+        ).total
+        assert cost.latency == direct
+
+    def test_cache_hits_accumulate(self, platform, network):
+        table = LayerCostTable(occupancy_resolution=1 / 16)
+        gpu = platform.gpu()
+        spec = next(s for s in network.layers() if s.kind.is_compute)
+        table.layer_cost(spec, gpu, Precision.FP16, occupancy=0.50)
+        assert table.cache_info()["misses"] == 1
+        # 0.47 and 0.50 land in the same 1/16 bucket.
+        table.layer_cost(spec, gpu, Precision.FP16, occupancy=0.47)
+        assert table.cache_info()["hits"] == 1
+        assert table.cache_info()["entries"] == 1
+
+    def test_bucket_clamps_and_quantizes(self):
+        table = LayerCostTable(occupancy_resolution=0.25)
+        assert table.bucket(None) is None
+        assert table.bucket(-1.0) == 0.0
+        assert table.bucket(2.0) == 1.0
+        assert table.bucket(0.3) == 0.25
+        exact = LayerCostTable()
+        assert exact.bucket(0.3) == 0.3
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            LayerCostTable(occupancy_resolution=0.0)
+        with pytest.raises(ValueError):
+            LayerCostTable(occupancy_resolution=1.5)
+
+
+class TestNetworkCostModel:
+    def test_matches_seed_reference_walk(self, platform, network):
+        """The memoized walk must equal the seed pipeline's per-call loop."""
+        config = EvEdgeConfig(optimization=OptimizationLevel.E2SF)
+        model = NetworkCostModel(network, platform, config=config)
+        latency_model = model.table.latency_model
+        energy_model = model.table.energy_model
+        for occupancy, batch in [(0.01, 1), (0.2, 3), (1.0, 2)]:
+            expected_latency = 0.0
+            expected_energy = 0.0
+            gpu = platform.gpu()
+            first = True
+            for spec in network.layers():
+                if not spec.kind.is_compute:
+                    continue
+                occ = occupancy if first else None
+                expected_latency += latency_model.layer_latency(
+                    spec, gpu, config.baseline_precision,
+                    sparse=True, occupancy=occ, batch=batch,
+                ).total
+                expected_energy += energy_model.layer_energy(
+                    spec, gpu, config.baseline_precision,
+                    sparse=True, occupancy=occ, batch=batch,
+                ).total
+                first = False
+            latency, energy = model.inference_cost(occupancy, batch)
+            assert latency == pytest.approx(expected_latency, rel=1e-12)
+            assert energy == pytest.approx(expected_energy, rel=1e-12)
+
+    def test_repeated_calls_are_cached(self, platform, network):
+        model = NetworkCostModel(network, platform)
+        first = model.inference_cost(0.1, 1)
+        misses = model.table.cache_info()["misses"]
+        second = model.inference_cost(0.1, 1)
+        assert first == second
+        assert model.table.cache_info()["misses"] == misses
+
+    def test_pes_used_follows_mapping(self, platform, network):
+        all_gpu = NetworkCostModel(network, platform)
+        assert all_gpu.pes_used == ("gpu",)
+        mapping = MappingCandidate(
+            {
+                f"{network.name}.{spec.name}": Assignment(
+                    "dla0" if not spec.is_spiking else "gpu", Precision.FP16
+                )
+                for spec in network.layers()
+                if spec.kind.is_compute
+            }
+        )
+        config = EvEdgeConfig(optimization=OptimizationLevel.FULL)
+        mapped = NetworkCostModel(network, platform, config=config, mapping=mapping)
+        assert set(mapped.pes_used) >= {"gpu"}
+
+    def test_signature_distinguishes_configs(self, platform, network):
+        a = NetworkCostModel(network, platform)
+        b = NetworkCostModel(
+            network, platform, config=EvEdgeConfig(optimization=OptimizationLevel.E2SF)
+        )
+        c = NetworkCostModel(network, platform)
+        assert a.signature() != b.signature()
+        assert a.signature() == c.signature()
+
+    def test_signature_distinguishes_same_name_different_structure(self, platform):
+        # The same zoo model built at two resolutions shares a name but must
+        # not share a cost model / execution server.
+        small = NetworkCostModel(build_network("dotie", 64, 64), platform)
+        large = NetworkCostModel(build_network("dotie", 192, 192), platform)
+        assert small.signature() != large.signature()

@@ -1,0 +1,225 @@
+"""Tests for traffic streams and the multi-stream traffic simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DSFAConfig, EvEdgeConfig, OptimizationLevel
+from repro.core.nmp.candidate import Assignment, MappingCandidate
+from repro.events import generate_sequence
+from repro.hw import jetson_xavier_agx
+from repro.models import build_network
+from repro.nn import LayerGraph, LayerKind, LayerSpec, Precision
+from repro.runtime import KernelTrace, MultiStreamSimulator, StreamSource
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return jetson_xavier_agx()
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    return generate_sequence("indoor_flying1", scale=0.12, duration=0.4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def fast_sequence():
+    return generate_sequence("high_speed_disk", scale=0.12, duration=0.4, seed=1)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_network("spikeflownet", 64, 64)
+
+
+def make_sources(sequence, network, n, level=OptimizationLevel.E2SF_DSFA, **config_kwargs):
+    config = EvEdgeConfig(num_bins=5, optimization=level, **config_kwargs)
+    return [
+        StreamSource(
+            name=f"s{i}",
+            sequence=sequence,
+            network=network,
+            config=config,
+            start_offset=0.002 * i,
+        )
+        for i in range(n)
+    ]
+
+
+class TestStreamSource:
+    def test_generates_all_bins(self, sequence, network):
+        source = StreamSource("s", sequence, network, EvEdgeConfig(num_bins=5))
+        frames = source.generate_frames()
+        assert len(frames) == 5 * sequence.num_intervals
+        arrivals = [t for t, _ in frames]
+        assert arrivals == sorted(arrivals)
+
+    def test_start_offset_shifts_arrivals(self, sequence, network):
+        base = StreamSource("a", sequence, network, EvEdgeConfig(num_bins=5))
+        shifted = StreamSource(
+            "b", sequence, network, EvEdgeConfig(num_bins=5), start_offset=0.25
+        )
+        t0 = base.generate_frames()[0][0]
+        t1 = shifted.generate_frames()[0][0]
+        assert t1 == pytest.approx(t0 + 0.25)
+        assert shifted.end_time == pytest.approx(base.end_time + 0.25)
+
+
+class TestMultiStreamSimulator:
+    def test_sixteen_streams_get_individual_reports(self, platform, sequence, fast_sequence):
+        nets = [build_network(n, 64, 64) for n in ("spikeflownet", "dotie")]
+        sources = []
+        for i in range(16):
+            sources.append(
+                StreamSource(
+                    name=f"s{i:02d}",
+                    sequence=sequence if i % 2 == 0 else fast_sequence,
+                    network=nets[i % 2],
+                    config=EvEdgeConfig(num_bins=5, optimization=OptimizationLevel.E2SF_DSFA),
+                    start_offset=0.001 * i,
+                )
+            )
+        report = MultiStreamSimulator(platform, sources).run()
+        assert report.num_streams == 16
+        assert set(report.reports) == {f"s{i:02d}" for i in range(16)}
+        for source in sources:
+            stream_report = report.reports[source.name]
+            assert (
+                stream_report.frames_generated == 5 * source.sequence.num_intervals
+            )
+            assert stream_report.num_inferences > 0
+        assert report.total_inferences == sum(
+            r.num_inferences for r in report.reports.values()
+        )
+        assert report.throughput > 0
+        assert report.makespan <= report.end_time + 1e-12
+
+    def test_shared_pe_serializes_inferences(self, platform, sequence, network):
+        # All streams map all-GPU, so no two inference windows may overlap
+        # (merged batches share identical windows).
+        sources = make_sources(sequence, network, 4)
+        report = MultiStreamSimulator(platform, sources).run()
+        windows = sorted(
+            {
+                (r.start_time, r.end_time)
+                for stream in report.reports.values()
+                for r in stream.records
+            }
+        )
+        for (s0, e0), (s1, e1) in zip(windows, windows[1:]):
+            assert s1 >= e0 - 1e-12
+
+    def test_cross_stream_batching_merges_dispatches(self, platform, sequence):
+        # A heavy network with synchronized streams: dispatches pile up
+        # while the GPU is busy and get merged when it frees.
+        heavy = build_network("spikeflownet", 192, 192)
+        config = EvEdgeConfig(num_bins=5, optimization=OptimizationLevel.E2SF_DSFA)
+        sources = [
+            StreamSource(f"s{i}", sequence, heavy, config) for i in range(8)
+        ]
+        merged = MultiStreamSimulator(platform, sources, max_merge_streams=8).run()
+        unmerged = MultiStreamSimulator(platform, sources, max_merge_streams=1).run()
+        # With merging enabled, several streams share one execution window.
+        merged_windows = [
+            (r.start_time, r.end_time)
+            for stream in merged.reports.values()
+            for r in stream.records
+        ]
+        assert len(merged_windows) > len(set(merged_windows))
+        # Without merging every window is unique to one record.
+        unmerged_windows = [
+            (r.start_time, r.end_time)
+            for stream in unmerged.reports.values()
+            for r in stream.records
+        ]
+        assert len(unmerged_windows) == len(set(unmerged_windows))
+
+    def test_disjoint_pe_mappings_run_concurrently(self, platform, sequence):
+        # Two tiny ANN networks, one pinned to the GPU and one to the DLA:
+        # their executions may overlap in time.
+        def tiny(name):
+            g = LayerGraph(name, task="optical_flow")
+            g.add_layer(LayerSpec("in", LayerKind.INPUT))
+            g.add_layer(
+                LayerSpec("conv1", LayerKind.CONV2D, 2, 16, 64, 64), inputs=["in"]
+            )
+            g.add_layer(
+                LayerSpec("conv2", LayerKind.CONV2D, 16, 16, 64, 64), inputs=["conv1"]
+            )
+            return g
+
+        net_gpu, net_dla = tiny("tiny_gpu"), tiny("tiny_dla")
+        dla_mapping = MappingCandidate(
+            {
+                f"tiny_dla.{layer}": Assignment("dla0", Precision.FP16)
+                for layer in ("conv1", "conv2")
+            }
+        )
+        config = EvEdgeConfig(num_bins=5, optimization=OptimizationLevel.FULL)
+        sources = [
+            StreamSource("on_gpu", sequence, net_gpu, config),
+            StreamSource("on_dla", sequence, net_dla, config, mapping=dla_mapping),
+        ]
+        report = MultiStreamSimulator(platform, sources).run()
+        gpu_records = report.reports["on_gpu"].records
+        dla_records = report.reports["on_dla"].records
+        assert gpu_records and dla_records
+        overlaps = any(
+            a.start_time < b.end_time and b.start_time < a.end_time
+            for a in gpu_records
+            for b in dla_records
+        )
+        assert overlaps
+
+    def test_backlog_bound_drops_frames(self, platform, sequence):
+        # A heavy network without DSFA on many synchronized streams exceeds
+        # the bounded pending queue and sheds load instead of diverging.
+        heavy = build_network("adaptive_spikenet", 128, 128)
+        config = EvEdgeConfig(
+            num_bins=10,
+            optimization=OptimizationLevel.E2SF,
+            dsfa=DSFAConfig(inference_queue_depth=1),
+        )
+        sources = [
+            StreamSource(f"s{i}", sequence, heavy, config) for i in range(6)
+        ]
+        report = MultiStreamSimulator(platform, sources).run()
+        assert report.frames_dropped > 0
+        for stream in report.reports.values():
+            assert (
+                stream.num_inferences + stream.frames_dropped
+                <= stream.frames_generated
+            )
+
+    def test_trace_records_multi_stream_events(self, platform, sequence, network):
+        sources = make_sources(sequence, network, 2)
+        trace = KernelTrace()
+        MultiStreamSimulator(platform, sources).run(trace=trace)
+        counts = trace.counts()
+        assert counts["FrameReady"] == 2 * 5 * sequence.num_intervals
+        assert counts["StreamEnd"] == 2
+        assert counts.get("InferenceDone", 0) > 0
+        assert set(trace.by_stream()) >= {"s0", "s1"}
+
+    def test_duplicate_stream_names_rejected(self, platform, sequence, network):
+        sources = [
+            StreamSource("dup", sequence, network, EvEdgeConfig()),
+            StreamSource("dup", sequence, network, EvEdgeConfig()),
+        ]
+        with pytest.raises(ValueError):
+            MultiStreamSimulator(platform, sources)
+
+    def test_empty_sources_rejected(self, platform):
+        with pytest.raises(ValueError):
+            MultiStreamSimulator(platform, [])
+
+    def test_energy_is_conserved_across_merges(self, platform, sequence, network):
+        # Splitting a merged inference's energy across member streams must
+        # preserve the total paid for the batched run.
+        sources = make_sources(sequence, network, 4)
+        merged = MultiStreamSimulator(platform, sources, max_merge_streams=4).run()
+        assert merged.total_energy > 0
+        for stream in merged.reports.values():
+            for record in stream.records:
+                assert record.energy > 0
