@@ -1,0 +1,110 @@
+"""Benchmark: NMP search engine — scheduler flattening speedup and strategy race.
+
+Two measurements on the Figure-10 ``mixed_snn_ann`` workload:
+
+1. **Candidate-evaluations/sec** of the flattened incremental scheduler vs
+   the pre-refactor graph-walking scheduler (kept as
+   ``ExecutionScheduler.schedule_reference``).  The refactor's acceptance
+   bar is >= 2x.
+2. **Time-to-target-fitness** per strategy: how many requested evaluations
+   each search strategy spends before first reaching within 5% of the best
+   fitness any strategy finds under the shared budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import FitnessEvaluator, MappingCandidate, NMPConfig
+from repro.experiments import run_fig10
+from repro.experiments.fig9_multi_task import MULTI_TASK_CONFIGS
+from repro.hw import PlatformProfiler, jetson_xavier_agx
+from repro.models import build_network
+from repro.nn import MultiTaskGraph, TaskSpec
+
+
+def _mixed_graph(settings):
+    return MultiTaskGraph(
+        [
+            TaskSpec(build_network(name, *settings.network_resolution))
+            for name in MULTI_TASK_CONFIGS["mixed_snn_ann"]
+        ]
+    )
+
+
+def _evaluations_per_second(evaluator, candidates) -> float:
+    start = time.perf_counter()
+    for candidate in candidates:
+        evaluator.evaluate(candidate)
+    elapsed = time.perf_counter() - start
+    return len(candidates) / elapsed
+
+
+def test_nmp_flattened_scheduler_speedup(settings):
+    """Flattened scheduling must be >= 2x faster than the reference walker."""
+    platform = jetson_xavier_agx()
+    graph = _mixed_graph(settings)
+    profile = PlatformProfiler(platform).profile(graph, occupancy=0.1)
+    rng = np.random.default_rng(0)
+    candidates = [MappingCandidate.random(graph, platform, rng) for _ in range(150)]
+
+    flat = FitnessEvaluator(graph, platform, profile)
+    reference = FitnessEvaluator(graph, platform, profile, use_flat_scheduler=False)
+    # Warm up both paths (flat builds its arrays once; both touch caches).
+    flat.evaluate(candidates[0])
+    reference.evaluate(candidates[0])
+    # Distinct candidates: every evaluation runs the scheduler, no cache hits.
+    flat_rate = _evaluations_per_second(flat, candidates[1:])
+    reference_rate = _evaluations_per_second(reference, candidates[1:])
+    speedup = flat_rate / reference_rate
+
+    print("\n=== NMP search: candidate-evaluations/sec (fig10 mixed_snn_ann) ===")
+    print(f"flattened scheduler: {flat_rate:10.0f} eval/s")
+    print(f"reference scheduler: {reference_rate:10.0f} eval/s")
+    print(f"speedup:             {speedup:10.2f}x")
+
+    # Both paths must agree bit-for-bit before the speedup means anything.
+    for candidate in candidates[:20]:
+        assert flat.evaluate(candidate).fitness == reference.evaluate(candidate).fitness
+    assert speedup >= 2.0
+
+
+def test_nmp_strategy_time_to_target(settings, benchmark):
+    """Race the four strategies to within 5% of the best fitness found."""
+    config = NMPConfig(population_size=20, generations=15, seed=settings.seed)
+    result = benchmark.pedantic(
+        run_fig10, args=(settings,), kwargs={"nmp_config": config}, iterations=1, rounds=1
+    )
+    strategies = result["strategies"]
+    target = 1.05 * min(stats["fitness"] for stats in strategies.values())
+
+    print("\n=== NMP search: time-to-target-fitness (5% of best) ===")
+    print(f"{'strategy':14s} {'best_ms':>9s} {'evals':>7s} {'to-target':>10s}")
+    for name, stats in strategies.items():
+        convergence = stats["convergence"]
+        per_generation = stats["requested_evaluations"] / max(len(convergence), 1)
+        to_target = next(
+            (
+                int((i + 1) * per_generation)
+                for i, fitness in enumerate(convergence)
+                if fitness <= target
+            ),
+            None,
+        )
+        print(
+            f"{name:14s} {stats['latency_ms']:9.3f} {stats['requested_evaluations']:7d} "
+            f"{to_target if to_target is not None else '-':>10}"
+        )
+
+    # Every strategy spends (at most) the shared budget.
+    budget = result["evaluation_budget"]
+    for stats in strategies.values():
+        assert stats["requested_evaluations"] <= budget
+    # The evolutionary strategy beats random search under the equal budget.
+    assert result["evolutionary_vs_random_speedup"] >= 1.0
+    # The refactored evolutionary search still converges (Figure 10a shape).
+    convergence = result["evolutionary_convergence"]
+    assert all(b <= a + 1e-12 for a, b in zip(convergence, convergence[1:]))
+    assert convergence[-1] < convergence[0]

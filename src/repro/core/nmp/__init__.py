@@ -1,15 +1,30 @@
-"""Network Mapper (NMP): evolutionary layer-to-PE mapping with precision search."""
+"""Network Mapper (NMP): pluggable layer-to-PE mapping search with precision choice."""
 
 from .candidate import Assignment, MappingCandidate
-from .evolutionary import GenerationStats, NMPConfig, NMPResult, NetworkMapper
+from .evolutionary import NetworkMapper
 from .objective import FitnessBreakdown, FitnessEvaluator
 from .random_search import RandomSearchMapper
-from .scheduler import ExecutionScheduler, ScheduledNode, ScheduleResult
+from .scheduler import ExecutionScheduler, FlatGraph, ScheduledNode, ScheduleResult
+from .search import (
+    EvolutionaryStrategy,
+    GenerationStats,
+    GreedyLayerwiseStrategy,
+    MapperEngine,
+    NMPConfig,
+    NMPResult,
+    RandomSearchStrategy,
+    STRATEGIES,
+    SearchContext,
+    SearchStrategy,
+    SimulatedAnnealingStrategy,
+    make_strategy,
+)
 
 __all__ = [
     "Assignment",
     "MappingCandidate",
     "ExecutionScheduler",
+    "FlatGraph",
     "ScheduleResult",
     "ScheduledNode",
     "FitnessEvaluator",
@@ -19,4 +34,13 @@ __all__ = [
     "NMPResult",
     "GenerationStats",
     "RandomSearchMapper",
+    "MapperEngine",
+    "SearchContext",
+    "SearchStrategy",
+    "EvolutionaryStrategy",
+    "RandomSearchStrategy",
+    "SimulatedAnnealingStrategy",
+    "GreedyLayerwiseStrategy",
+    "STRATEGIES",
+    "make_strategy",
 ]

@@ -14,77 +14,33 @@ algorithm:
    child;
 4. repeat for a configured number of generations, recording the best and mean
    fitness per generation (the convergence curve of Figure 10a).
+
+Since the search-engine refactor the actual loop lives in
+:class:`~.search.MapperEngine` driving :class:`~.search.EvolutionaryStrategy`;
+:class:`NetworkMapper` is kept as a thin compatibility wrapper with the
+original constructor and ``run()`` signature.  For a given
+:attr:`NMPConfig.seed` it returns exactly the result the pre-engine
+implementation produced.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
-
-import numpy as np
 
 from ...hw.pe import Platform
 from ...hw.profiler import ProfileTable
 from ...nn.accuracy import TaskAccuracyEvaluator
 from ...nn.graph import MultiTaskGraph
 from .candidate import MappingCandidate
-from .objective import FitnessBreakdown, FitnessEvaluator
+from .search import (
+    EvolutionaryStrategy,
+    GenerationStats,
+    MapperEngine,
+    NMPConfig,
+    NMPResult,
+)
 
 __all__ = ["GenerationStats", "NMPConfig", "NMPResult", "NetworkMapper"]
-
-
-@dataclass(frozen=True)
-class GenerationStats:
-    """Best / mean fitness of one generation (Figure 10a data point)."""
-
-    generation: int
-    best_fitness: float
-    mean_fitness: float
-    best_latency: float
-
-
-@dataclass(frozen=True)
-class NMPConfig:
-    """Hyper-parameters of the evolutionary search."""
-
-    population_size: int = 24
-    generations: int = 20
-    elite_fraction: float = 0.25
-    mutation_layers: int = 2
-    accuracy_threshold: float = 0.05
-    full_precision_only: bool = False
-    seed: int = 0
-
-    def __post_init__(self) -> None:
-        if self.population_size < 2:
-            raise ValueError("population_size must be >= 2")
-        if self.generations < 1:
-            raise ValueError("generations must be >= 1")
-        if not 0.0 < self.elite_fraction <= 1.0:
-            raise ValueError("elite_fraction must be in (0, 1]")
-        if self.mutation_layers < 0:
-            raise ValueError("mutation_layers must be non-negative")
-
-
-@dataclass
-class NMPResult:
-    """Outcome of one Network Mapper run."""
-
-    best_candidate: MappingCandidate
-    best_breakdown: FitnessBreakdown
-    history: List[GenerationStats]
-    evaluations: int
-    cache_hits: int
-
-    @property
-    def best_latency(self) -> float:
-        """Maximum task latency of the best mapping found."""
-        return self.best_breakdown.max_task_latency
-
-    @property
-    def convergence(self) -> List[float]:
-        """Best fitness per generation (Figure 10a series)."""
-        return [g.best_fitness for g in self.history]
 
 
 class NetworkMapper:
@@ -104,91 +60,18 @@ class NetworkMapper:
         self.platform = platform
         self.profile = profile
         self.config = config or NMPConfig()
-        self.evaluator = FitnessEvaluator(
+        self.engine = MapperEngine(
             graph,
             platform,
             profile,
+            config=self.config,
             accuracy_evaluators=accuracy_evaluators,
-            accuracy_threshold=self.config.accuracy_threshold,
             sparse=sparse,
+            initial_candidates=initial_candidates,
         )
-        self.initial_candidates = list(initial_candidates or [])
-        self._rng = np.random.default_rng(self.config.seed)
+        self.evaluator = self.engine.evaluator
+        self.initial_candidates = self.engine.initial_candidates
 
-    # ------------------------------------------------------------------
-    def _initial_population(self) -> List[MappingCandidate]:
-        """Random candidates, optionally warm-started with heuristic seeds.
-
-        Seeding the population with known-reasonable mappings (all-GPU,
-        round-robin) guarantees the search never returns something worse than
-        the heuristics it is compared against and speeds up convergence.
-        """
-        population = [c.copy() for c in self.initial_candidates[: self.config.population_size]]
-        while len(population) < self.config.population_size:
-            population.append(
-                MappingCandidate.random(
-                    self.graph,
-                    self.platform,
-                    self._rng,
-                    full_precision_only=self.config.full_precision_only,
-                )
-            )
-        return population
-
-    def _next_generation(
-        self, ranked: List[MappingCandidate]
-    ) -> List[MappingCandidate]:
-        """Elitism + neighbour-pair crossover + mutation."""
-        cfg = self.config
-        num_elite = max(int(round(cfg.elite_fraction * cfg.population_size)), 1)
-        elites = [c.copy() for c in ranked[:num_elite]]
-        children: List[MappingCandidate] = []
-        parents = ranked[: max(num_elite * 2, 2)]
-        while len(children) < cfg.population_size - num_elite:
-            i = int(self._rng.integers(len(parents) - 1)) if len(parents) > 1 else 0
-            pair = (parents[i], parents[min(i + 1, len(parents) - 1)])
-            # Paper crossover: one of the neighbouring parents is chosen as
-            # the child with equal likelihood.
-            chosen = pair[int(self._rng.integers(2))]
-            child = chosen.mutate(
-                self.graph,
-                self.platform,
-                self._rng,
-                num_mutations=cfg.mutation_layers,
-                full_precision_only=cfg.full_precision_only,
-            )
-            children.append(child)
-        return elites + children
-
-    # ------------------------------------------------------------------
     def run(self) -> NMPResult:
         """Execute the configured number of generations and return the best mapping."""
-        population = self._initial_population()
-        history: List[GenerationStats] = []
-        best_candidate: Optional[MappingCandidate] = None
-        best_breakdown: Optional[FitnessBreakdown] = None
-
-        for generation in range(self.config.generations):
-            evaluated = [(c, self.evaluator.evaluate(c)) for c in population]
-            evaluated.sort(key=lambda pair: pair[1].fitness)
-            gen_best_candidate, gen_best = evaluated[0]
-            if best_breakdown is None or gen_best.fitness < best_breakdown.fitness:
-                best_candidate, best_breakdown = gen_best_candidate.copy(), gen_best
-            history.append(
-                GenerationStats(
-                    generation=generation,
-                    best_fitness=gen_best.fitness,
-                    mean_fitness=float(np.mean([b.fitness for _, b in evaluated])),
-                    best_latency=gen_best.max_task_latency,
-                )
-            )
-            population = self._next_generation([c for c, _ in evaluated])
-
-        assert best_candidate is not None and best_breakdown is not None
-        return NMPResult(
-            best_candidate=best_candidate,
-            best_breakdown=best_breakdown,
-            history=history,
-            evaluations=self.evaluator.evaluations,
-            cache_hits=self.evaluator.cache_hits,
-        )
+        return self.engine.run(EvolutionaryStrategy())

@@ -12,21 +12,31 @@ candidate's layer precisions and evaluating it on a sampled subset of the
 validation set (:class:`~repro.nn.accuracy.TaskAccuracyEvaluator`).
 Infeasible candidates are penalised proportionally to their constraint
 violation rather than rejected, which keeps the evolutionary search able to
-traverse the boundary of the feasible region.  Fitness values are cached per
-candidate, mirroring the paper's caching optimisation.
+traverse the boundary of the feasible region.
+
+Two caches keep the search cheap, mirroring the paper's caching
+optimisation:
+
+* whole-candidate fitness, keyed on the candidate's full assignment key, and
+* **delta evaluation** of the accuracy term: per-task degradations are keyed
+  on the task's layer-precision tuple, so a child that mutates only
+  ``mutation_layers`` assignments re-measures accuracy only for the tasks it
+  actually touched (and only when it changed their *precisions* — device
+  moves never re-trigger accuracy evaluation).  ``delta_hits`` counts the
+  reuses.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ...hw.pe import Platform
 from ...hw.profiler import ProfileTable
 from ...nn.accuracy import TaskAccuracyEvaluator, map_layer_precisions_to_stages
 from ...nn.graph import MultiTaskGraph
 from .candidate import MappingCandidate
-from .scheduler import ExecutionScheduler, ScheduleResult
+from .scheduler import ExecutionScheduler
 
 __all__ = ["FitnessBreakdown", "FitnessEvaluator"]
 
@@ -63,6 +73,10 @@ class FitnessEvaluator:
         paper evaluates on a random subset to reduce search cost).
     sparse:
         Whether layers run on sparse inputs (E2SF enabled).
+    use_flat_scheduler:
+        Route latency estimation through the flattened fast path (default).
+        ``False`` falls back to the original graph-walking scheduler — only
+        useful to the benchmark that measures the flattening speedup.
     """
 
     def __init__(
@@ -75,6 +89,7 @@ class FitnessEvaluator:
         penalty_weight: float = 10.0,
         accuracy_subset: Optional[int] = 2,
         sparse: bool = True,
+        use_flat_scheduler: bool = True,
     ) -> None:
         if accuracy_threshold < 0:
             raise ValueError("accuracy_threshold must be non-negative")
@@ -86,20 +101,44 @@ class FitnessEvaluator:
         self.accuracy_threshold = accuracy_threshold
         self.penalty_weight = penalty_weight
         self.accuracy_subset = accuracy_subset
+        self.use_flat_scheduler = use_flat_scheduler
+        # Per-task compute nodes in topological order, resolved once: both
+        # the degradation keys and ``task_precisions`` re-derivations are on
+        # the hot path.
+        self._task_nodes: Dict[str, Tuple[str, ...]] = {
+            name: tuple(
+                n for n in graph.compute_nodes() if graph.network_of(n) == name
+            )
+            for name in graph.task_names
+        }
         self._cache: Dict[tuple, FitnessBreakdown] = {}
+        self._degradation_cache: Dict[tuple, float] = {}
         self.evaluations = 0
         self.cache_hits = 0
+        self.delta_hits = 0
 
     # ------------------------------------------------------------------
     def _task_degradation(self, candidate: MappingCandidate, task_name: str) -> float:
         evaluator = self.accuracy_evaluators.get(task_name)
         if evaluator is None:
             return 0.0
-        layer_precisions = candidate.task_precisions(self.graph, task_name)
+        assignments = candidate.assignments
+        layer_precisions = tuple(
+            assignments[node].precision for node in self._task_nodes[task_name]
+        )
+        key = (task_name, layer_precisions)
+        cached = self._degradation_cache.get(key)
+        if cached is not None:
+            self.delta_hits += 1
+            return cached
         task = self.graph.task(task_name)
         surrogate_stages = 3 if task.network.task != "object_tracking" else 2
-        stage_precisions = map_layer_precisions_to_stages(layer_precisions, surrogate_stages)
-        return evaluator.degradation(stage_precisions, subset=self.accuracy_subset)
+        stage_precisions = map_layer_precisions_to_stages(
+            list(layer_precisions), surrogate_stages
+        )
+        value = evaluator.degradation(stage_precisions, subset=self.accuracy_subset)
+        self._degradation_cache[key] = value
+        return value
 
     def evaluate(self, candidate: MappingCandidate) -> FitnessBreakdown:
         """Return (cached) fitness details for ``candidate``."""
@@ -108,7 +147,13 @@ class FitnessEvaluator:
             self.cache_hits += 1
             return self._cache[key]
         self.evaluations += 1
-        result: ScheduleResult = self.scheduler.schedule(self.graph, candidate)
+        if self.use_flat_scheduler:
+            task_latencies, energy = self.scheduler.schedule_metrics(
+                self.graph, candidate
+            )
+        else:
+            result = self.scheduler.schedule_reference(self.graph, candidate)
+            task_latencies, energy = dict(result.task_latencies), result.energy
         degradations = {
             name: self._task_degradation(candidate, name) for name in self.graph.task_names
         }
@@ -116,14 +161,14 @@ class FitnessEvaluator:
             max(d - self.accuracy_threshold, 0.0) for d in degradations.values()
         )
         feasible = violation == 0.0
-        latency = result.max_task_latency
+        latency = max(task_latencies.values()) if task_latencies else 0.0
         fitness = latency * (1.0 + self.penalty_weight * violation)
         breakdown = FitnessBreakdown(
             fitness=fitness,
             max_task_latency=latency,
-            task_latencies=dict(result.task_latencies),
+            task_latencies=task_latencies,
             degradations=degradations,
-            energy=result.energy,
+            energy=energy,
             feasible=feasible,
         )
         self._cache[key] = breakdown

@@ -3,22 +3,20 @@
 Samples a fresh random population every generation (no selection, crossover
 or mutation) and tracks the best candidate seen, using exactly the same
 fitness evaluator as the evolutionary mapper so the comparison isolates the
-search strategy.
+search strategy.  The loop lives in :class:`~.search.MapperEngine` driving
+:class:`~.search.RandomSearchStrategy`; this wrapper keeps the original
+constructor and ``run()`` signature.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import Dict, Optional
 
 from ...hw.pe import Platform
 from ...hw.profiler import ProfileTable
 from ...nn.accuracy import TaskAccuracyEvaluator
 from ...nn.graph import MultiTaskGraph
-from .candidate import MappingCandidate
-from .evolutionary import GenerationStats, NMPConfig, NMPResult
-from .objective import FitnessEvaluator
+from .search import MapperEngine, NMPConfig, NMPResult, RandomSearchStrategy
 
 __all__ = ["RandomSearchMapper"]
 
@@ -39,49 +37,16 @@ class RandomSearchMapper:
         self.platform = platform
         self.profile = profile
         self.config = config or NMPConfig()
-        self.evaluator = FitnessEvaluator(
+        self.engine = MapperEngine(
             graph,
             platform,
             profile,
+            config=self.config,
             accuracy_evaluators=accuracy_evaluators,
-            accuracy_threshold=self.config.accuracy_threshold,
             sparse=sparse,
         )
-        self._rng = np.random.default_rng(self.config.seed)
+        self.evaluator = self.engine.evaluator
 
     def run(self) -> NMPResult:
         """Sample ``generations x population_size`` candidates and keep the best."""
-        history: List[GenerationStats] = []
-        best_candidate = None
-        best_breakdown = None
-        for generation in range(self.config.generations):
-            population = [
-                MappingCandidate.random(
-                    self.graph,
-                    self.platform,
-                    self._rng,
-                    full_precision_only=self.config.full_precision_only,
-                )
-                for _ in range(self.config.population_size)
-            ]
-            evaluated = [(c, self.evaluator.evaluate(c)) for c in population]
-            evaluated.sort(key=lambda pair: pair[1].fitness)
-            gen_best_candidate, gen_best = evaluated[0]
-            if best_breakdown is None or gen_best.fitness < best_breakdown.fitness:
-                best_candidate, best_breakdown = gen_best_candidate.copy(), gen_best
-            history.append(
-                GenerationStats(
-                    generation=generation,
-                    best_fitness=best_breakdown.fitness,
-                    mean_fitness=float(np.mean([b.fitness for _, b in evaluated])),
-                    best_latency=best_breakdown.max_task_latency,
-                )
-            )
-        assert best_candidate is not None and best_breakdown is not None
-        return NMPResult(
-            best_candidate=best_candidate,
-            best_breakdown=best_breakdown,
-            history=history,
-            evaluations=self.evaluator.evaluations,
-            cache_hits=self.evaluator.cache_hits,
-        )
+        return self.engine.run(RandomSearchStrategy())

@@ -11,19 +11,38 @@ multi-task graph; the end time of every node obeys
 and the candidate's latency is the critical-path maximum of the end times.
 Data-transfer nodes are inserted automatically whenever a producer/consumer
 pair is mapped to different devices.
+
+The scheduler sits on the search's hot path — it runs once per candidate
+evaluation — so the multi-task graph is **flattened once per graph** into
+index-based arrays (:class:`FlatGraph`): topological node order, parent
+indices, compute mask, per-precision output bytes and pre-resolved profile
+entries per (PE, precision) with the sparse/dense preference already applied.
+``schedule`` / ``schedule_metrics`` then run a tight loop over those arrays
+instead of re-resolving ``graph.spec()`` / ``graph.predecessors()`` and
+re-querying the profile table for every node of every candidate.
+``schedule_reference`` keeps the original graph-walking implementation as the
+bit-for-bit oracle for regression tests and the
+``benchmarks/bench_nmp_search.py`` speedup measurement.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from ...hw.pe import Platform
-from ...hw.profiler import ProfileTable
+from ...hw.profiler import ProfileEntry, ProfileTable
 from ...nn.graph import MultiTaskGraph
+from ...nn.quantization import Precision
 from .candidate import MappingCandidate
 
-__all__ = ["ScheduledNode", "ScheduleResult", "ExecutionScheduler"]
+__all__ = [
+    "ScheduledNode",
+    "ScheduleResult",
+    "FlatGraph",
+    "ExecutionScheduler",
+]
 
 _MEMORY_QUEUE = "unified_memory"
 
@@ -74,6 +93,79 @@ class ScheduleResult:
         return busy
 
 
+class FlatGraph:
+    """A multi-task graph flattened to index-based arrays for scheduling.
+
+    Built once per (graph, profile, sparse-mode) and reused for every
+    candidate evaluation.  Per node ``i`` in topological order:
+
+    * ``names[i]`` — the global node id;
+    * ``is_compute[i]`` — pseudo layers forward their parents' end times;
+    * ``parents[i]`` — flat indices of the data-dependency parents, in the
+      graph's predecessor order (transfer insertion order matters);
+    * ``task_index[i]`` — index into ``task_names`` (compute nodes only);
+    * ``options[i]`` — ``(pe_name, precision) -> ProfileEntry`` with the
+      scheduler's sparse preference already resolved (compute nodes only);
+    * ``output_bytes[i]`` — ``precision -> bytes`` of the node's output
+      activation (compute nodes only; consumed when inserting transfers).
+    """
+
+    __slots__ = (
+        "names",
+        "is_compute",
+        "parents",
+        "task_index",
+        "task_names",
+        "options",
+        "output_bytes",
+        "num_nodes",
+    )
+
+    def __init__(
+        self,
+        graph: MultiTaskGraph,
+        platform: Platform,
+        profile: ProfileTable,
+        sparse: bool,
+    ) -> None:
+        nodes = graph.nodes()
+        index = {name: i for i, name in enumerate(nodes)}
+        self.num_nodes = len(nodes)
+        self.names: List[str] = nodes
+        self.is_compute: List[bool] = []
+        self.parents: List[Tuple[int, ...]] = []
+        self.task_names: List[str] = list(graph.task_names)
+        task_index = {name: i for i, name in enumerate(self.task_names)}
+        self.task_index: List[int] = []
+        self.options: List[Optional[Dict[Tuple[str, Precision], ProfileEntry]]] = []
+        self.output_bytes: List[Optional[Dict[Precision, int]]] = []
+        for name in nodes:
+            spec = graph.spec(name)
+            compute = spec.kind.is_compute
+            self.is_compute.append(compute)
+            self.parents.append(tuple(index[p] for p in graph.predecessors(name)))
+            self.task_index.append(task_index[graph.network_of(name)])
+            if not compute:
+                self.options.append(None)
+                self.output_bytes.append(None)
+                continue
+            options: Dict[Tuple[str, Precision], ProfileEntry] = {}
+            for pe in platform:
+                if not pe.supports_layer(spec):
+                    continue
+                for precision in pe.supported_precisions:
+                    use_sparse = sparse and profile.has(name, pe.name, precision, True)
+                    if not profile.has(name, pe.name, precision, use_sparse):
+                        continue
+                    options[(pe.name, precision)] = profile.lookup(
+                        name, pe.name, precision, use_sparse
+                    )
+            self.options.append(options)
+            self.output_bytes.append(
+                {precision: spec.output_bytes(precision) for precision in Precision}
+            )
+
+
 class ExecutionScheduler:
     """Estimate the latency of a mapping candidate with per-device queues."""
 
@@ -86,10 +178,140 @@ class ExecutionScheduler:
         self.platform = platform
         self.profile = profile
         self.sparse = sparse
+        # Flattenings are keyed on graph identity; WeakKey so long-dead
+        # graphs do not pin their arrays.
+        self._flat: "weakref.WeakKeyDictionary[MultiTaskGraph, FlatGraph]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     # ------------------------------------------------------------------
+    def flatten(self, graph: MultiTaskGraph) -> FlatGraph:
+        """The (cached) flattened form of ``graph`` for this scheduler."""
+        flat = self._flat.get(graph)
+        if flat is None:
+            flat = FlatGraph(graph, self.platform, self.profile, self.sparse)
+            self._flat[graph] = flat
+        return flat
+
     def schedule(self, graph: MultiTaskGraph, mapping: MappingCandidate) -> ScheduleResult:
         """Schedule every compute node of ``graph`` per ``mapping`` (Eq. 3)."""
+        timeline: List[ScheduledNode] = []
+        task_latencies, energy = self._run(self.flatten(graph), mapping, timeline)
+        return ScheduleResult(
+            timeline=timeline, task_latencies=task_latencies, energy=energy
+        )
+
+    def schedule_metrics(
+        self, graph: MultiTaskGraph, mapping: MappingCandidate
+    ) -> Tuple[Dict[str, float], float]:
+        """Fast path: ``(task_latencies, energy)`` without building a timeline.
+
+        Numerically identical to :meth:`schedule` (same operations in the
+        same order); used by the fitness evaluator, whose objective needs
+        only the per-task end times and the energy total.
+        """
+        return self._run(self.flatten(graph), mapping, None)
+
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        flat: FlatGraph,
+        mapping: MappingCandidate,
+        timeline: Optional[List[ScheduledNode]],
+    ) -> Tuple[Dict[str, float], float]:
+        assignments = mapping.assignments
+        names = flat.names
+        is_compute = flat.is_compute
+        parents = flat.parents
+        options = flat.options
+        output_bytes = flat.output_bytes
+        task_index = flat.task_index
+        transfer_latency = self.platform.transfer_latency
+        bandwidth = self.platform.unified_memory_bandwidth
+
+        end: List[float] = [0.0] * flat.num_nodes
+        queue_ready: Dict[str, float] = {pe.name: 0.0 for pe in self.platform}
+        memory_ready = 0.0
+        task_end = [0.0] * len(flat.task_names)
+        total_energy = 0.0
+
+        for i in range(flat.num_nodes):
+            node_parents = parents[i]
+            if not is_compute[i]:
+                # Pseudo layers take no time; they simply forward their parents' end.
+                latest = 0.0
+                for p in node_parents:
+                    if end[p] > latest:
+                        latest = end[p]
+                end[i] = latest
+                continue
+            name = names[i]
+            assignment = assignments[name]
+            pe_name = assignment.pe
+
+            # Insert transfer nodes for parents mapped to a different device.
+            ready = 0.0
+            for p in node_parents:
+                parent_end = end[p]
+                if not is_compute[p]:
+                    if parent_end > ready:
+                        ready = parent_end
+                    continue
+                parent_assignment = assignments.get(names[p])
+                if parent_assignment is None or parent_assignment.pe == pe_name:
+                    if parent_end > ready:
+                        ready = parent_end
+                    continue
+                num_bytes = output_bytes[p][parent_assignment.precision]
+                if num_bytes <= 0:
+                    transfer_time = transfer_latency
+                else:
+                    transfer_time = transfer_latency + 2.0 * num_bytes / bandwidth
+                start = parent_end if parent_end > memory_ready else memory_ready
+                finish = start + transfer_time
+                memory_ready = finish
+                if timeline is not None:
+                    timeline.append(
+                        ScheduledNode(
+                            node=f"{names[p]}->{name}",
+                            queue=_MEMORY_QUEUE,
+                            start=start,
+                            end=finish,
+                            kind="transfer",
+                        )
+                    )
+                if finish > ready:
+                    ready = finish
+
+            entry = options[i][(pe_name, assignment.precision)]
+            device_ready = queue_ready[pe_name]
+            start = ready if ready > device_ready else device_ready
+            finish = start + entry.latency
+            queue_ready[pe_name] = finish
+            end[i] = finish
+            total_energy += entry.energy
+            if timeline is not None:
+                timeline.append(
+                    ScheduledNode(node=name, queue=pe_name, start=start, end=finish)
+                )
+            t = task_index[i]
+            if finish > task_end[t]:
+                task_end[t] = finish
+
+        task_latencies = dict(zip(flat.task_names, task_end))
+        return task_latencies, total_energy
+
+    # ------------------------------------------------------------------
+    def schedule_reference(
+        self, graph: MultiTaskGraph, mapping: MappingCandidate
+    ) -> ScheduleResult:
+        """The original graph-walking list scheduler (pre-flattening).
+
+        Kept verbatim as the correctness oracle: regression tests assert the
+        flat path reproduces it bit-for-bit, and
+        ``benchmarks/bench_nmp_search.py`` measures the flattening speedup
+        against it.
+        """
         queue_ready: Dict[str, float] = {pe.name: 0.0 for pe in self.platform}
         queue_ready[_MEMORY_QUEUE] = 0.0
         end_time: Dict[str, float] = {}
@@ -100,7 +322,6 @@ class ExecutionScheduler:
         for node in graph.nodes():
             spec = graph.spec(node)
             if not spec.kind.is_compute:
-                # Pseudo layers take no time; they simply forward their parents' end.
                 parents = graph.predecessors(node)
                 end_time[node] = max((end_time[p] for p in parents), default=0.0)
                 continue
@@ -108,7 +329,6 @@ class ExecutionScheduler:
             pe_name = assignment.pe
             precision = assignment.precision
 
-            # Insert transfer nodes for parents mapped to a different device.
             ready = 0.0
             for parent in graph.predecessors(node):
                 parent_end = end_time.get(parent, 0.0)

@@ -7,19 +7,28 @@ Network Mapper against RR-Network and RR-Layer round-robin policies, plus the
 full-precision-only variant Ev-Edge-NMP-FP.  Reported results: NMP is
 1.43x-1.81x faster than RR-Network, 1.24x-1.41x faster than RR-Layer, and
 NMP-FP is 1.05x-1.22x slower than NMP but still ahead of both baselines.
+
+Per configuration ONE :class:`~repro.core.nmp.search.MapperEngine` (and
+therefore one fitness evaluator, fitness cache and flattened schedule) runs
+both the mixed-precision and the FP-only search, and the round-robin
+baselines are evaluated through the same evaluator — so their fitness is
+already cached when they re-enter the searches as warm-start seeds.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional
 
-from ..core.nmp.evolutionary import NMPConfig, NetworkMapper
-from ..hw.jetson import jetson_xavier_agx
+from ..core.nmp.candidate import MappingCandidate
+from ..core.nmp.search import EvolutionaryStrategy, MapperEngine, NMPConfig
+from ..hw.jetson import DLA_NAME, GPU_NAME, jetson_xavier_agx
 from ..hw.pe import Platform
+from ..hw.profiler import PlatformProfiler
 from ..models.zoo import build_network
 from ..nn.accuracy import TaskAccuracyEvaluator
 from ..nn.graph import MultiTaskGraph, TaskSpec
-from ..runtime.executor import MappedExecutor
+from ..nn.quantization import Precision
 from ..runtime.schedulers import rr_layer_mapping, rr_network_mapping
 from .common import ExperimentSettings, format_table
 
@@ -54,7 +63,7 @@ def run_fig9(
     rows: List[Dict[str, object]] = []
     for config_name, networks in configs.items():
         graph = _build_graph(networks, settings)
-        executor = MappedExecutor(graph, platform, occupancy=0.1)
+        profile = PlatformProfiler(platform).profile(graph, occupancy=0.1)
         accuracy_evaluators = None
         if with_accuracy:
             accuracy_evaluators = {
@@ -63,20 +72,27 @@ def run_fig9(
                 )
                 for task in graph.tasks
             }
+        engine = MapperEngine(
+            graph,
+            platform,
+            profile,
+            config=nmp_config,
+            accuracy_evaluators=accuracy_evaluators,
+        )
+
         # Round-robin baselines cycle over the devices TensorRT deploys
         # networks on (GPU + DLA) at the Jetson's default FP16 precision.
-        from ..hw.jetson import DLA_NAME, GPU_NAME
-        from ..nn.quantization import Precision as _P
-
         rr_devices = [name for name in (GPU_NAME, DLA_NAME) if name in platform]
         rr_network_candidate = rr_network_mapping(
-            graph, platform, precision=_P.FP16, devices=rr_devices
+            graph, platform, precision=Precision.FP16, devices=rr_devices
         )
         rr_layer_candidate = rr_layer_mapping(
-            graph, platform, precision=_P.FP16, devices=rr_devices
+            graph, platform, precision=Precision.FP16, devices=rr_devices
         )
-        from ..core.nmp.candidate import MappingCandidate
-        from ..nn.quantization import Precision
+        # Evaluating the baselines through the shared evaluator caches their
+        # fitness, so the searches' warm starts below are free cache hits.
+        rr_network_latency = engine.evaluator.evaluate(rr_network_candidate).max_task_latency
+        rr_layer_latency = engine.evaluator.evaluate(rr_layer_candidate).max_task_latency
 
         gpu = platform.gpu()
         fp_seeds = [
@@ -88,34 +104,13 @@ def run_fig9(
             MappingCandidate.uniform(graph, gpu.name, Precision.FP16),
             MappingCandidate.uniform(graph, gpu.name, Precision.INT8),
         ]
-        nmp = NetworkMapper(
-            graph,
-            platform,
-            executor.profile,
-            nmp_config,
-            accuracy_evaluators,
-            initial_candidates=mixed_seeds,
-        ).run()
-        fp_config = NMPConfig(
-            population_size=nmp_config.population_size,
-            generations=nmp_config.generations,
-            elite_fraction=nmp_config.elite_fraction,
-            mutation_layers=nmp_config.mutation_layers,
-            accuracy_threshold=nmp_config.accuracy_threshold,
-            full_precision_only=True,
-            seed=nmp_config.seed,
-        )
-        nmp_fp = NetworkMapper(
-            graph,
-            platform,
-            executor.profile,
-            fp_config,
-            accuracy_evaluators,
+        nmp = engine.run(EvolutionaryStrategy(), initial_candidates=mixed_seeds)
+        nmp_fp = engine.run(
+            EvolutionaryStrategy(),
             initial_candidates=fp_seeds,
-        ).run()
+            config=replace(nmp_config, full_precision_only=True),
+        )
 
-        rr_network = executor.execute(rr_network_candidate, sparse=True)
-        rr_layer = executor.execute(rr_layer_candidate, sparse=True)
         nmp_latency = nmp.best_latency
         nmp_fp_latency = nmp_fp.best_latency
         rows.append(
@@ -124,10 +119,10 @@ def run_fig9(
                 "networks": "+".join(networks),
                 "nmp_latency_ms": nmp_latency * 1e3,
                 "nmp_fp_latency_ms": nmp_fp_latency * 1e3,
-                "rr_network_latency_ms": rr_network.latency * 1e3,
-                "rr_layer_latency_ms": rr_layer.latency * 1e3,
-                "speedup_vs_rr_network": rr_network.latency / nmp_latency,
-                "speedup_vs_rr_layer": rr_layer.latency / nmp_latency,
+                "rr_network_latency_ms": rr_network_latency * 1e3,
+                "rr_layer_latency_ms": rr_layer_latency * 1e3,
+                "speedup_vs_rr_network": rr_network_latency / nmp_latency,
+                "speedup_vs_rr_layer": rr_layer_latency / nmp_latency,
                 "nmp_fp_slowdown": nmp_fp_latency / nmp_latency,
                 "max_degradation": max(nmp.best_breakdown.degradations.values(), default=0.0),
             }

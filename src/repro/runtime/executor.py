@@ -65,8 +65,14 @@ class MappedExecutor:
         self.platform = platform
         profiler = PlatformProfiler(platform, latency_model, energy_model)
         self.profile: ProfileTable = profiler.profile(graph, occupancy=occupancy)
+        # One scheduler per sparse mode: each keeps the flattened form of the
+        # graph, so repeated execute() calls skip re-flattening.
+        self._schedulers: Dict[bool, ExecutionScheduler] = {}
 
     def execute(self, mapping: MappingCandidate, sparse: bool = False) -> ExecutionReport:
         """Simulate the execution of ``mapping`` and return its report."""
-        scheduler = ExecutionScheduler(self.platform, self.profile, sparse=sparse)
+        scheduler = self._schedulers.get(sparse)
+        if scheduler is None:
+            scheduler = ExecutionScheduler(self.platform, self.profile, sparse=sparse)
+            self._schedulers[sparse] = scheduler
         return ExecutionReport(schedule=scheduler.schedule(self.graph, mapping), mapping=mapping)

@@ -7,9 +7,9 @@ extracts the common substrate both (and any future traffic scenario) build
 on:
 
 * **Typed events** — :class:`FrameReady`, :class:`DispatchBatch`,
-  :class:`InferenceDone`, :class:`QueueEvict` and :class:`StreamEnd` — each
-  carrying its simulation time and the name of the traffic stream it belongs
-  to.
+  :class:`InferenceDone`, :class:`QueueEvict`, :class:`StreamEnd` and
+  :class:`RemapTriggered` — each carrying its simulation time and the name
+  of the traffic stream it belongs to.
 * :class:`SimulationKernel` — a priority-queue event loop.  Events at the
   same timestamp are ordered by a per-type priority (completions free their
   devices before new frames are examined, dispatches run before later
@@ -54,6 +54,7 @@ __all__ = [
     "InferenceDone",
     "QueueEvict",
     "StreamEnd",
+    "RemapTriggered",
     "SimulationKernel",
     "LayerCost",
     "LayerCostTable",
@@ -202,6 +203,24 @@ class StreamEnd(SimEvent):
     """A traffic stream produced its last frame (triggers a final flush)."""
 
     PRIORITY = 4
+
+
+@dataclass
+class RemapTriggered(SimEvent):
+    """The traffic mix changed (a stream joined or left); remapping may run.
+
+    Scheduled by the multi-stream simulator at every stream join/leave point
+    when a remap policy is active.  Processed after completions (so freed
+    devices are visible) but before same-time dispatches and frame arrivals,
+    so a join's first frame already executes under the adapted mapping.
+    """
+
+    reason: str = "join"  # "join" or "leave"
+
+    PRIORITY = 1
+
+    def trace_detail(self) -> str:
+        return f"reason={self.reason}"
 
 
 # ----------------------------------------------------------------------
@@ -403,6 +422,11 @@ class NetworkCostModel:
         self.mapping = mapping
         self.table = table or LayerCostTable()
         self._specs = [spec for spec in network.layers() if spec.kind.is_compute]
+        self._cache: Dict[tuple, Tuple[float, float]] = {}
+        self._resolve()
+
+    def _resolve(self) -> None:
+        """Resolve the layer→(PE, precision) assignment under the active mapping."""
         self._assignments: List[Tuple[LayerSpec, ProcessingElement, Precision]] = []
         for spec in self._specs:
             pe, precision = self._assignment_for(spec.name)
@@ -414,7 +438,22 @@ class NetworkCostModel:
             if pe.name not in seen:
                 seen.append(pe.name)
         self._pes_used = tuple(seen)
-        self._cache: Dict[tuple, Tuple[float, float]] = {}
+
+    def rebind(self, mapping: Optional[MappingCandidate]) -> None:
+        """Swap the NMP mapping and invalidate every memoized inference cost.
+
+        Used by online traffic-adaptive remapping: the per-layer costs in the
+        shared :class:`LayerCostTable` stay valid (they are keyed on the
+        layer/PE/precision, not on the mapping), but the resolved assignment
+        list, the occupied-PE set and the whole-network cost memo are all
+        mapping-dependent and must be rebuilt.  Note that an execution
+        server's *grouping* of streams (its :meth:`signature` at construction
+        time) is intentionally not revisited — streams that shared a cost
+        surface before a remap still share the rebound one.
+        """
+        self.mapping = mapping
+        self._resolve()
+        self._cache.clear()
 
     # ------------------------------------------------------------------
     def _assignment_for(self, node_name: str) -> Tuple[ProcessingElement, Precision]:

@@ -27,6 +27,19 @@ Two executors give dispatches their hardware semantics:
 :class:`MultiStreamSimulator` multiplexes N heterogeneous streams onto one
 :class:`~repro.hw.pe.Platform` with per-PE busy tracking, sharing a single
 :class:`~repro.runtime.sim.LayerCostTable` across all streams.
+
+**Online traffic-adaptive remapping.**  With a :class:`RemapPolicy` the
+simulator reacts to traffic-mix changes: at every stream join (its
+``start_offset``) and leave (its last frame) a :class:`RemapTriggered` event
+fires, the :class:`AdaptiveMappingClient` re-runs a *budgeted* NMP search
+(:class:`~repro.core.nmp.search.MapperEngine`) over the networks of the
+streams that are active at that instant, and every affected
+:class:`~repro.runtime.sim.NetworkCostModel` is rebound to the new mapping —
+invalidating its memoized whole-network costs while keeping the shared
+per-layer cost table warm.  Only streams whose optimization level uses NMP
+(:attr:`~repro.core.config.OptimizationLevel.FULL`) participate; the search
+itself is treated as instantaneous in simulated time (it runs on a host core
+concurrently with inference in a real deployment).
 """
 
 from __future__ import annotations
@@ -39,13 +52,16 @@ import numpy as np
 from ..core.config import EvEdgeConfig
 from ..core.dsfa import DynamicSparseFrameAggregator
 from ..core.e2sf import Event2SparseFrameConverter
-from ..core.nmp.candidate import MappingCandidate
+from ..core.nmp.candidate import Assignment, MappingCandidate
+from ..core.nmp.search import MapperEngine, NMPConfig, NMPResult, make_strategy
 from ..events.datasets import EventSequence
 from ..frames.sparse import SparseFrame, SparseFrameBatch
 from ..hw.energy import EnergyModel
 from ..hw.latency import LatencyModel
 from ..hw.pe import Platform
-from ..nn.graph import LayerGraph
+from ..hw.profiler import PlatformProfiler
+from ..nn.graph import LayerGraph, MultiTaskGraph, TaskSpec
+from ..nn.quantization import Precision
 from .sim import (
     DispatchBatch,
     FrameReady,
@@ -55,6 +71,7 @@ from .sim import (
     NetworkCostModel,
     PipelineReport,
     QueueEvict,
+    RemapTriggered,
     SimulationKernel,
     StreamEnd,
 )
@@ -65,6 +82,9 @@ __all__ = [
     "StreamClient",
     "SerialExecutor",
     "SignatureServer",
+    "RemapPolicy",
+    "RemapRecord",
+    "AdaptiveMappingClient",
     "MultiStreamReport",
     "MultiStreamSimulator",
 ]
@@ -389,6 +409,176 @@ class StreamClient:
 
 
 # ----------------------------------------------------------------------
+# online traffic-adaptive remapping
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RemapPolicy:
+    """When and how hard to re-run the NMP search as the traffic mix changes.
+
+    Attributes
+    ----------
+    nmp_config:
+        The *budgeted* search configuration.  Online remaps run between
+        inference batches, so the default budget is far smaller than the
+        offline searches of Figures 9/10.
+    strategy:
+        Name of the registered search strategy
+        (:data:`~repro.core.nmp.search.STRATEGIES`).
+    remap_on_join / remap_on_leave:
+        Which traffic-mix changes trigger a search.
+    min_interval:
+        Cooldown in simulated seconds between remaps (joins/leaves inside
+        the cooldown window keep the current mapping).
+    profile_occupancy:
+        Activation occupancy assumed when profiling a network set for the
+        search.
+    warm_start:
+        Seed the search with the currently deployed mapping (plus an all-GPU
+        fallback), so a remap can only improve on the status quo.
+    """
+
+    nmp_config: NMPConfig = field(
+        default_factory=lambda: NMPConfig(population_size=12, generations=8, seed=0)
+    )
+    strategy: str = "evolutionary"
+    remap_on_join: bool = True
+    remap_on_leave: bool = True
+    min_interval: float = 0.0
+    profile_occupancy: float = 0.1
+    warm_start: bool = True
+
+
+@dataclass(frozen=True)
+class RemapRecord:
+    """One executed remap: what triggered it and what the search found."""
+
+    time: float
+    reason: str
+    active_streams: Tuple[str, ...]
+    networks: Tuple[str, ...]
+    best_latency: float
+    evaluations: int
+    strategy: str
+
+
+class AdaptiveMappingClient:
+    """Online remapping driver: budgeted NMP searches over the active mix.
+
+    One :class:`~repro.core.nmp.search.MapperEngine` (and therefore one
+    fitness cache, flattened schedule and profile table) is kept per distinct
+    network set, so repeated joins/leaves of the same mix re-search with a
+    warm cache.  The client is simulator-agnostic — it can also be used
+    standalone to compute a mapping for an arbitrary set of networks.
+    """
+
+    def __init__(self, platform: Platform, policy: Optional[RemapPolicy] = None) -> None:
+        self.platform = platform
+        self.policy = policy or RemapPolicy()
+        self._engines: Dict[Tuple[str, ...], MapperEngine] = {}
+        self.records: List[RemapRecord] = []
+        self._last_remap_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def reset_cooldown(self) -> None:
+        """Forget the last remap time (call when a new simulation starts).
+
+        Simulations share the client's engines and caches across runs, but
+        the cooldown clock is per-run simulated time and must not leak.
+        """
+        self._last_remap_time = None
+
+    def should_remap(self, time: float, reason: str) -> bool:
+        """Policy gate: trigger switches plus the cooldown interval."""
+        policy = self.policy
+        if reason == "join" and not policy.remap_on_join:
+            return False
+        if reason == "leave" and not policy.remap_on_leave:
+            return False
+        if (
+            self._last_remap_time is not None
+            and time - self._last_remap_time < policy.min_interval
+        ):
+            return False
+        return True
+
+    def engine_for(self, networks: Sequence[LayerGraph]) -> MapperEngine:
+        """The (cached) search engine for one set of networks."""
+        key = tuple(sorted(net.name for net in networks))
+        engine = self._engines.get(key)
+        if engine is None:
+            graph = MultiTaskGraph([TaskSpec(net) for net in networks])
+            profile = PlatformProfiler(self.platform).profile(
+                graph, occupancy=self.policy.profile_occupancy
+            )
+            engine = MapperEngine(
+                graph, self.platform, profile, config=self.policy.nmp_config
+            )
+            self._engines[key] = engine
+        return engine
+
+    def _fallback_mapping(self, graph: MultiTaskGraph) -> Dict[str, Assignment]:
+        gpu = self.platform.gpu()
+        precision = (
+            Precision.FP16
+            if gpu.supports_precision(Precision.FP16)
+            else gpu.highest_supported_precision()
+        )
+        return {
+            node: Assignment(gpu.name, precision) for node in graph.compute_nodes()
+        }
+
+    def remap(
+        self,
+        networks: Sequence[LayerGraph],
+        time: float = 0.0,
+        reason: str = "join",
+        current_assignments: Optional[Dict[str, object]] = None,
+        stream_names: Tuple[str, ...] = (),
+    ) -> Optional[NMPResult]:
+        """Search a new mapping for ``networks`` and record the remap.
+
+        ``current_assignments`` is the union of the deployed per-node
+        assignments; with :attr:`RemapPolicy.warm_start` it seeds the search
+        (missing nodes — e.g. of a newly joined network — fall back to the
+        GPU).  Returns ``None`` when ``networks`` is empty.
+        """
+        unique: List[LayerGraph] = []
+        seen = set()
+        for net in networks:
+            if net.name not in seen:
+                unique.append(net)
+                seen.add(net.name)
+        if not unique:
+            return None
+        engine = self.engine_for(unique)
+        graph = engine.graph
+        fallback = self._fallback_mapping(graph)
+        seeds = [MappingCandidate(fallback)]
+        if self.policy.warm_start and current_assignments:
+            warm = dict(fallback)
+            for node, assignment in current_assignments.items():
+                if node in warm:
+                    warm[node] = assignment
+            seeds.insert(0, MappingCandidate(warm))
+        result = engine.run(
+            make_strategy(self.policy.strategy), initial_candidates=seeds
+        )
+        self._last_remap_time = time
+        self.records.append(
+            RemapRecord(
+                time=time,
+                reason=reason,
+                active_streams=tuple(stream_names),
+                networks=tuple(net.name for net in unique),
+                best_latency=result.best_latency,
+                evaluations=result.requested_evaluations,
+                strategy=self.policy.strategy,
+            )
+        )
+        return result
+
+
+# ----------------------------------------------------------------------
 # multi-stream traffic simulation
 # ----------------------------------------------------------------------
 @dataclass
@@ -399,6 +589,7 @@ class MultiStreamReport:
     end_time: float
     trace: Optional[KernelTrace] = None
     cache_info: Optional[Dict[str, int]] = None
+    remaps: List[RemapRecord] = field(default_factory=list)
 
     @property
     def num_streams(self) -> int:
@@ -482,6 +673,13 @@ class MultiStreamSimulator:
         virtually every inference under heavy traffic.
     max_merge_streams:
         Upper bound on cross-stream batching (1 disables merging).
+    remap_policy:
+        Optional online traffic-adaptive remapping policy.  When set, a
+        :class:`RemapTriggered` event fires at every stream join/leave; the
+        :class:`AdaptiveMappingClient` (exposed as :attr:`remap_client`)
+        re-runs a budgeted NMP search over the networks active at that
+        instant and rebinds the affected cost models.  Only streams whose
+        optimization level uses NMP participate.
     """
 
     def __init__(
@@ -492,6 +690,7 @@ class MultiStreamSimulator:
         energy_model: Optional[EnergyModel] = None,
         occupancy_resolution: Optional[float] = 1.0 / 64.0,
         max_merge_streams: int = 4,
+        remap_policy: Optional[RemapPolicy] = None,
     ) -> None:
         if not sources:
             raise ValueError("at least one stream source is required")
@@ -504,6 +703,62 @@ class MultiStreamSimulator:
             latency_model, energy_model, occupancy_resolution=occupancy_resolution
         )
         self.max_merge_streams = max_merge_streams
+        self.remap_policy = remap_policy
+        self.remap_client = (
+            AdaptiveMappingClient(platform, remap_policy)
+            if remap_policy is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def _schedule_remap_triggers(self, kernel: SimulationKernel) -> None:
+        """One remap trigger per distinct join/leave instant."""
+        triggers = {(source.start_offset, "join") for source in self.sources}
+        triggers |= {(source.end_time, "leave") for source in self.sources}
+        for time, reason in sorted(triggers):
+            kernel.schedule(RemapTriggered(time=time, reason=reason))
+
+    def _active_clients(
+        self, clients: List[StreamClient], time: float
+    ) -> List[StreamClient]:
+        """NMP-enabled streams whose [start_offset, end_time) covers ``time``."""
+        eps = 1e-12
+        return [
+            c
+            for c in clients
+            if c.config.optimization.uses_nmp
+            and c.source.start_offset <= time + eps
+            and c.source.end_time > time + eps
+        ]
+
+    def _on_remap(self, event: RemapTriggered, clients: List[StreamClient]) -> None:
+        assert self.remap_client is not None
+        if not self.remap_client.should_remap(event.time, event.reason):
+            return
+        active = self._active_clients(clients, event.time)
+        if not active:
+            return
+        current: Dict[str, Assignment] = {}
+        for client in active:
+            deployed = client.cost_model.mapping
+            if deployed is not None:
+                current.update(deployed.assignments)
+        result = self.remap_client.remap(
+            [c.source.network for c in active],
+            time=event.time,
+            reason=event.reason,
+            current_assignments=current,
+            stream_names=tuple(c.name for c in active),
+        )
+        if result is None:
+            return
+        rebound = set()
+        for client in active:
+            model = client.cost_model
+            if id(model) in rebound:
+                continue
+            model.rebind(result.best_candidate)
+            rebound.add(id(model))
 
     def run(self, trace: Optional[KernelTrace] = None) -> MultiStreamReport:
         """Simulate all streams to completion and return the traffic report."""
@@ -536,12 +791,26 @@ class MultiStreamSimulator:
                     cost_model=cost_models[signature],
                 )
             )
+        remaps_before = 0
+        if self.remap_client is not None:
+            remaps_before = len(self.remap_client.records)
+            self.remap_client.reset_cooldown()
+            kernel.on(
+                RemapTriggered, lambda event: self._on_remap(event, clients)
+            )
+            self._schedule_remap_triggers(kernel)
         for client in clients:
             client.prime()
         end_time = kernel.run()
+        remaps = (
+            list(self.remap_client.records[remaps_before:])
+            if self.remap_client is not None
+            else []
+        )
         return MultiStreamReport(
             reports={c.name: c.report for c in clients},
             end_time=end_time,
             trace=trace,
             cache_info=self.table.cache_info(),
+            remaps=remaps,
         )

@@ -19,6 +19,7 @@ from repro.runtime import (
     timeline_by_device,
     utilisation,
 )
+from repro.runtime.schedulers import _precision_on
 
 
 @pytest.fixture(scope="module")
@@ -82,6 +83,72 @@ class TestMappingPolicies:
     def test_empty_device_list_rejected(self, graph, platform):
         with pytest.raises(ValueError):
             rr_layer_mapping(graph, platform, devices=[])
+
+
+class TestPrecisionFallback:
+    def test_supported_precision_is_kept(self, platform):
+        gpu = platform.pe("gpu")
+        for precision in gpu.supported_precisions:
+            assert _precision_on(gpu, precision) == precision
+
+    def test_unsupported_precision_falls_back_to_highest(self, platform):
+        dla = platform.pe("dla0")
+        assert not dla.supports_precision(Precision.FP32)
+        fallback = _precision_on(dla, Precision.FP32)
+        assert fallback == dla.highest_supported_precision()
+        assert dla.supports_precision(fallback)
+
+    def test_fallback_appears_in_mappings(self, graph, platform):
+        # Requesting FP32 everywhere: DLA-assigned layers must silently run
+        # at the DLA's best precision rather than an unsupported one.
+        mapping = rr_layer_mapping(graph, platform, precision=Precision.FP32)
+        dla_assignments = [
+            a for a in mapping.assignments.values() if a.pe == "dla0"
+        ]
+        assert dla_assignments  # the cycle reached the DLA
+        for assignment in dla_assignments:
+            assert assignment.precision == platform.pe("dla0").highest_supported_precision()
+
+
+class TestDeviceBusyTime:
+    def test_busy_time_sums_timeline_durations(self, executor, graph, platform):
+        report = executor.execute(rr_layer_mapping(graph, platform))
+        busy = report.schedule.device_busy_time()
+        assert set(busy) == {entry.queue for entry in report.schedule.timeline}
+        for queue, total in busy.items():
+            expected = sum(
+                entry.duration
+                for entry in report.schedule.timeline
+                if entry.queue == queue
+            )
+            assert total == pytest.approx(expected, rel=1e-12)
+
+    def test_busy_time_bounded_by_makespan(self, executor, graph, platform):
+        # Every queue is serial, so no queue can be busy for longer than the
+        # whole schedule takes.
+        report = executor.execute(rr_layer_mapping(graph, platform))
+        makespan = report.schedule.makespan
+        for total in report.schedule.device_busy_time().values():
+            assert total <= makespan + 1e-12
+
+    def test_utilisation_accounting_matches_busy_time(self, executor, graph, platform):
+        report = executor.execute(rr_layer_mapping(graph, platform))
+        busy = report.schedule.device_busy_time()
+        util = utilisation(report.schedule)
+        makespan = report.schedule.makespan
+        for queue, fraction in util.items():
+            assert fraction == pytest.approx(busy[queue] / makespan, rel=1e-9)
+
+    def test_transfers_accrue_to_memory_queue(self, executor, graph, platform):
+        report = executor.execute(rr_layer_mapping(graph, platform))
+        busy = report.schedule.device_busy_time()
+        transfer_total = sum(
+            entry.duration
+            for entry in report.schedule.timeline
+            if entry.kind == "transfer"
+        )
+        assert transfer_total > 0
+        assert busy["unified_memory"] == pytest.approx(transfer_total, rel=1e-12)
 
 
 class TestExecutor:
