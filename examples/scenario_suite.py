@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Scenario suite tour: declarative traffic regimes on one edge platform.
+
+Lists the registered scenario families, simulates two contrasting regimes
+(steady vs hotspot) with per-stream breakdowns, then runs the full
+(scenario × policy) sweep twice through the cached parallel runner to show
+the second pass completing without a single simulation.
+
+Run with:  python examples/scenario_suite.py
+"""
+
+import tempfile
+
+from repro.experiments import format_scenario_sweep, run_scenario_sweep
+from repro.experiments.common import ExperimentSettings, format_table
+from repro.hw import jetson_xavier_agx
+from repro.runtime import MultiStreamSimulator
+from repro.scenarios import default_registry
+
+
+def main() -> None:
+    registry = default_registry()
+    print("registered scenarios:")
+    for name in registry.names():
+        print(f"  {registry.describe(name)}")
+    print()
+
+    platform = jetson_xavier_agx()
+    for name in ("steady", "hotspot"):
+        spec = registry.resolve(name, num_streams=6, duration=0.5, scale=0.15)
+        report = MultiStreamSimulator(platform, registry.compile(spec)).run()
+        print(
+            f"-- {name}: {report.num_streams} streams, "
+            f"throughput={report.throughput:.1f} f/s, "
+            f"mean latency={report.mean_latency * 1e3:.3f} ms, "
+            f"dropped={report.frames_dropped} --"
+        )
+        print(format_table(
+            report.per_stream_rows(),
+            ["stream", "inferences", "mean_latency_ms", "frames_dropped", "energy_j"],
+        ))
+        print()
+
+    settings = ExperimentSettings(scale=0.12, duration=0.4, num_bins=5, num_streams=4)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        print("=== full sweep, cold cache (2 workers) ===")
+        cold = run_scenario_sweep(
+            settings, policies=("batched", "unbatched"),
+            workers=2, cache_dir=cache_dir,
+        )
+        print(format_scenario_sweep(cold))
+        print()
+        print("=== identical sweep, warm cache ===")
+        warm = run_scenario_sweep(
+            settings, policies=("batched", "unbatched"),
+            workers=2, cache_dir=cache_dir,
+        )
+        print(
+            f"simulated={warm['simulated']}  from_cache={warm['from_cache']}  "
+            f"elapsed={warm['elapsed_s']:.3f}s (cold pass: {cold['elapsed_s']:.2f}s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,7 @@ The package is organised as:
 * :mod:`repro.models`   — the six networks of the paper's Table 1
 * :mod:`repro.hw`       — heterogeneous edge platform model (Jetson Xavier AGX)
 * :mod:`repro.runtime`  — discrete-event execution engine and scheduling baselines
+* :mod:`repro.scenarios`— declarative traffic scenarios and the parallel sweep runner
 * :mod:`repro.baselines`— dense all-GPU pipeline and static aggregation baselines
 * :mod:`repro.core`     — the paper's contribution: E2SF, DSFA and NMP
 * :mod:`repro.metrics`  — task accuracy metrics (AEE, mIOU, depth error)

@@ -7,6 +7,7 @@ from .fig5_density import format_fig5, run_fig5
 from .fig8_single_task import NETWORK_SEQUENCES, format_fig8, run_fig8
 from .fig9_multi_task import MULTI_TASK_CONFIGS, format_fig9, run_fig9
 from .fig10_convergence import format_fig10, run_fig10
+from .scenario_sweep import SWEEP_COLUMNS, format_scenario_sweep, run_scenario_sweep
 from .table1_networks import format_table1, run_table1
 from .table2_accuracy import PAPER_TABLE2, TABLE2_NETWORKS, format_table2, run_table2
 
@@ -29,6 +30,9 @@ __all__ = [
     "MULTI_TASK_CONFIGS",
     "run_fig10",
     "format_fig10",
+    "run_scenario_sweep",
+    "format_scenario_sweep",
+    "SWEEP_COLUMNS",
     "run_table1",
     "format_table1",
     "run_table2",

@@ -1,0 +1,98 @@
+"""Scenario sweep harness: traffic regimes × platforms × serving policies.
+
+The paper's central claim is that event-driven scheduling wins across
+*traffic regimes*, not just on one hand-built stream list.  This harness
+runs every registered scenario family (steady, bursty, diurnal, churn,
+hotspot, mixed-fleet) against one or more platform models and serving
+policies through the cached, parallel
+:class:`~repro.scenarios.sweep.SweepRunner`, and reports the aggregate and
+per-stream tables the traffic studies compare.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..scenarios.registry import default_registry
+from ..scenarios.spec import ScenarioSpec
+from ..scenarios.sweep import SweepPolicy, SweepRunner, sweep_grid
+from .common import ExperimentSettings, format_table
+
+__all__ = ["run_scenario_sweep", "format_scenario_sweep", "SWEEP_COLUMNS"]
+
+SWEEP_COLUMNS = (
+    "scenario",
+    "platform",
+    "policy",
+    "num_streams",
+    "inferences",
+    "frames_generated",
+    "frames_dropped",
+    "throughput_fps",
+    "mean_latency_ms",
+    "energy_j",
+)
+
+
+def run_scenario_sweep(
+    settings: Optional[ExperimentSettings] = None,
+    scenarios: Optional[Sequence[Union[str, ScenarioSpec]]] = None,
+    platforms: Sequence[str] = ("xavier_agx",),
+    policies: Sequence[Union[str, SweepPolicy]] = ("batched", "unbatched"),
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    force: bool = False,
+) -> Dict[str, object]:
+    """Run the grid and return rows plus cache/parallelism accounting.
+
+    ``settings`` maps onto the scenario specs: ``scale`` / ``duration`` /
+    ``num_bins`` / ``seed`` / ``num_streams`` override every named scenario's
+    defaults, so the sweep honours the same knobs as the figure harnesses.
+    """
+    settings = settings or ExperimentSettings()
+    if scenarios is None:
+        scenarios = default_registry().names()
+    cells = sweep_grid(
+        scenarios,
+        platforms=platforms,
+        policies=policies,
+        num_streams=settings.num_streams,
+        duration=settings.duration,
+        scale=settings.scale,
+        num_bins=settings.num_bins,
+        seed=settings.seed,
+    )
+    report = SweepRunner(cache_dir=cache_dir, workers=workers).run(cells, force=force)
+    return report.to_result()
+
+
+def format_scenario_sweep(result: Dict[str, object], per_stream: bool = False) -> str:
+    """Human-readable sweep summary (pass ``per_stream=True`` for the detail)."""
+    rows: List[Dict[str, object]] = list(result["rows"])
+    lines = [
+        f"{result['num_cells']} cells  simulated={result['simulated']}  "
+        f"from_cache={result['from_cache']}  workers={result['workers']}  "
+        f"elapsed={result['elapsed_s']:.2f}s",
+        "",
+        format_table(rows, list(SWEEP_COLUMNS)),
+    ]
+    if per_stream:
+        for row in rows:
+            lines.append("")
+            lines.append(
+                f"-- {row['scenario']} / {row['platform']} / {row['policy']} --"
+            )
+            lines.append(
+                format_table(
+                    list(row.get("per_stream", [])),
+                    [
+                        "stream",
+                        "inferences",
+                        "mean_latency_ms",
+                        "frames_generated",
+                        "frames_dropped",
+                        "energy_j",
+                    ],
+                )
+            )
+    return "\n".join(lines)

@@ -21,8 +21,8 @@ Two executors give dispatches their hardware semantics:
   PEs its mapping touches.  Dispatches arriving while those PEs are busy
   wait in a bounded per-stream pending queue (oldest entries are evicted
   with ``QueueEvict`` once a stream exceeds its ``inference_queue_depth``)
-  and are merged — cross-stream batching — into one batched inference when
-  the devices free up.
+  and are merged — cross-stream batching over at most ``max_merge_streams``
+  *distinct* streams — into one batched inference when the devices free up.
 
 :class:`MultiStreamSimulator` multiplexes N heterogeneous streams onto one
 :class:`~repro.hw.pe.Platform` with per-PE busy tracking, sharing a single
@@ -109,6 +109,12 @@ class StreamSource:
     start_offset:
         Shift (seconds) applied to the stream's arrival times, so traffic
         from many sensors can be phase-staggered on one platform.
+    stop_time:
+        Optional kernel time at which the stream leaves the platform (stream
+        churn): frames that would arrive after it are never generated and the
+        stream's ``end_time`` is clamped to it.  Scenario specs with
+        scheduled joins/leaves compile to ``(start_offset, stop_time)``
+        windows.
     """
 
     name: str
@@ -117,12 +123,15 @@ class StreamSource:
     config: EvEdgeConfig = field(default_factory=EvEdgeConfig)
     mapping: Optional[MappingCandidate] = None
     start_offset: float = 0.0
+    stop_time: Optional[float] = None
 
     def generate_frames(self) -> List[Tuple[float, SparseFrame]]:
         """Render the stream as ``(arrival_time, sparse_frame)`` pairs.
 
         A frame becomes available when its event bin closes (``t_end``),
-        shifted by the stream's ``start_offset``.
+        shifted by the stream's ``start_offset``.  Frames arriving after
+        ``stop_time`` are dropped at the source: a stream that has left the
+        platform produces no traffic.
         """
         converter = Event2SparseFrameConverter(self.config.num_bins)
         timestamps = self.sequence.frame_timestamps
@@ -132,16 +141,28 @@ class StreamSource:
                 self.sequence.events, float(timestamps[i]), float(timestamps[i + 1])
             )
             for frame in frames:
-                out.append((frame.t_end + self.start_offset, frame))
+                arrival = frame.t_end + self.start_offset
+                if self.stop_time is not None and arrival > self.stop_time:
+                    continue
+                out.append((arrival, frame))
         return out
 
     @property
     def end_time(self) -> float:
-        """Kernel time of the stream's last grayscale frame anchor."""
+        """Kernel time at which the stream leaves the platform.
+
+        The last grayscale frame anchor shifted by ``start_offset``, clamped
+        to ``stop_time`` when a churn schedule ends the stream early (and
+        never before the stream's own join time).
+        """
         timestamps = self.sequence.frame_timestamps
         if timestamps.size == 0:
-            return self.start_offset
-        return float(timestamps[-1]) + self.start_offset
+            end = self.start_offset
+        else:
+            end = float(timestamps[-1]) + self.start_offset
+        if self.stop_time is not None:
+            end = min(end, self.stop_time)
+        return max(end, self.start_offset)
 
 
 class SerialExecutor:
@@ -157,7 +178,7 @@ class SerialExecutor:
         self.kernel = kernel
         self.resource = resource
 
-    def busy_until(self, client: "StreamClient") -> float:
+    def busy_until(self, client: Optional["StreamClient"] = None) -> float:
         """Time the accelerator frees up."""
         return self.kernel.busy_until(self.resource)
 
@@ -196,10 +217,12 @@ class SignatureServer:
     arriving while the server is idle executes immediately; otherwise it
     waits in a pending queue bounded per stream by that stream's
     ``inference_queue_depth`` (the oldest pending entry is evicted when the
-    bound is exceeded).  When an inference completes, up to
-    ``max_merge_streams`` pending dispatches are concatenated into one
-    batched inference — cross-stream batching amortises kernel-launch and
-    weight-traffic costs exactly like DSFA's within-stream merging.
+    bound is exceeded).  When an inference completes, the oldest pending
+    dispatch of each of up to ``max_merge_streams`` *distinct* streams is
+    concatenated into one batched inference — cross-stream batching amortises
+    kernel-launch and weight-traffic costs exactly like DSFA's within-stream
+    merging, and no single stream can consume more than one slot of the merge
+    budget (``max_merge_streams=1`` disables merging entirely).
     """
 
     def __init__(
@@ -221,7 +244,7 @@ class SignatureServer:
         kernel.on(InferenceDone, self._on_done, stream=name)
 
     # ------------------------------------------------------------------
-    def busy_until(self, client: "StreamClient") -> float:
+    def busy_until(self, client: Optional["StreamClient"] = None) -> float:
         """Time every PE of this server's mapping frees up."""
         return self.kernel.busy_until(*self.cost_model.pes_used)
 
@@ -275,7 +298,11 @@ class SignatureServer:
                 occupancy=member.batch.mean_density if sparse else 1.0,
                 energy=energy * share,
             )
-            member.client.note_dispatch(latency)
+            # Attribute each member its *share* of the batched latency: the
+            # full latency would inflate every member's per-dispatch service
+            # estimate (StreamClient._last_duration) after a cross-stream
+            # merge and distort the backlog drop rule.
+            member.client.note_dispatch(latency * share)
             self.kernel.schedule(
                 InferenceDone(time=end, stream=member.client.name, records=(record,))
             )
@@ -285,7 +312,7 @@ class SignatureServer:
     def _on_done(self, event: InferenceDone) -> None:
         if not self.pending:
             return
-        busy = self.busy_until(None)
+        busy = self.busy_until()
         if busy > event.time:
             # A server sharing one of our PEs is still running; retry when
             # the devices free up.
@@ -293,8 +320,21 @@ class SignatureServer:
                 InferenceDone(time=busy, stream=self.name, records=())
             )
             return
-        members = self.pending[: self.max_merge_streams]
-        del self.pending[: self.max_merge_streams]
+        # Merge the oldest pending dispatch of each of the first
+        # ``max_merge_streams`` distinct streams (FIFO over streams).  Taking
+        # ``pending[:max_merge_streams]`` instead would let one stream's
+        # backlog consume the whole cross-stream merge budget.
+        members: List[_PendingDispatch] = []
+        remaining: List[_PendingDispatch] = []
+        taken = set()
+        for entry in self.pending:
+            client_id = id(entry.client)
+            if client_id not in taken and len(taken) < self.max_merge_streams:
+                taken.add(client_id)
+                members.append(entry)
+            else:
+                remaining.append(entry)
+        self.pending = remaining
         self._execute(members, event.time)
 
 
@@ -334,21 +374,26 @@ class StreamClient:
 
     # ------------------------------------------------------------------
     def prime(self) -> None:
-        """Schedule the stream's frame arrivals and end-of-stream flush."""
+        """Schedule the stream's frame arrivals and end-of-stream flush.
+
+        ``StreamEnd`` is scheduled even for a stream that generates no frames
+        (an empty sequence, or a churn window that closes before the first
+        arrival): leave-side consumers — remap triggers, traces, per-stream
+        accounting — rely on every stream announcing its end.
+        """
         frames = self.source.generate_frames()
         self.report.frames_generated += len(frames)
         for arrival, frame in frames:
             self.kernel.schedule(FrameReady(time=arrival, stream=self.name, frame=frame))
-        if frames:
-            # The last bin's computed t_end can differ from the final
-            # grayscale timestamp by a few ulps; the flush must still come
-            # after every frame arrival.
-            last_arrival = frames[-1][0]
-            self.kernel.schedule(
-                StreamEnd(
-                    time=max(self.source.end_time, last_arrival), stream=self.name
-                )
+        # The last bin's computed t_end can differ from the final grayscale
+        # timestamp by a few ulps; the flush must still come after every
+        # frame arrival.
+        last_arrival = frames[-1][0] if frames else self.source.start_offset
+        self.kernel.schedule(
+            StreamEnd(
+                time=max(self.source.end_time, last_arrival), stream=self.name
             )
+        )
 
     def note_dispatch(self, duration: float) -> None:
         """Record the duration of the stream's most recently started inference."""
@@ -590,6 +635,7 @@ class MultiStreamReport:
     trace: Optional[KernelTrace] = None
     cache_info: Optional[Dict[str, int]] = None
     remaps: List[RemapRecord] = field(default_factory=list)
+    start_time: float = 0.0
 
     @property
     def num_streams(self) -> int:
@@ -622,13 +668,23 @@ class MultiStreamReport:
         return max((r.total_time for r in self.reports.values()), default=0.0)
 
     @property
+    def active_window(self) -> float:
+        """Duration between the earliest stream join and the last completion.
+
+        Using the absolute makespan instead would make a fleet that joins at
+        ``t=100 s`` report near-zero throughput even though it is fully
+        loaded for its whole life.
+        """
+        return max(self.makespan - self.start_time, 0.0)
+
+    @property
     def throughput(self) -> float:
-        """Processed (non-dropped) frames per second of simulated time."""
+        """Processed (non-dropped) frames per second of *active* simulated time."""
         processed = self.frames_generated - self.frames_dropped
-        makespan = self.makespan
-        if makespan <= 0:
+        window = self.active_window
+        if window <= 0:
             return 0.0
-        return processed / makespan
+        return processed / window
 
     @property
     def mean_latency(self) -> float:
@@ -663,7 +719,12 @@ class MultiStreamSimulator:
     platform:
         The shared heterogeneous platform.
     sources:
-        The traffic streams.  Stream names must be unique.
+        The traffic streams.  Stream names must be unique.  Each source's
+        ``(start_offset, stop_time)`` window is its churn schedule: the
+        stream joins at its offset and leaves at its (possibly truncated)
+        end time, so scenario specs with scheduled joins/leaves need no
+        extra plumbing here — joins/leaves also drive the remap triggers
+        below.
     latency_model / energy_model:
         Shared hardware models (defaults match the pipeline's).
     occupancy_resolution:
@@ -813,4 +874,5 @@ class MultiStreamSimulator:
             trace=trace,
             cache_info=self.table.cache_info(),
             remaps=remaps,
+            start_time=min(s.start_offset for s in self.sources),
         )

@@ -1,0 +1,41 @@
+"""Declarative traffic scenarios and the parallel sweep harness.
+
+``ScenarioSpec`` (a picklable, content-hashable value object) + a workload
+family from the :func:`default_registry` compile to the ``StreamSource``
+lists the :class:`~repro.runtime.streams.MultiStreamSimulator` consumes;
+:class:`SweepRunner` fans (scenario × platform × policy) grids across a
+``multiprocessing`` pool with on-disk result caching.  See
+``python -m repro.scenarios list`` for the built-ins.
+"""
+
+from .families import BUILTIN_FAMILIES
+from .registry import ScenarioFamily, ScenarioRegistry, default_registry
+from .spec import ScenarioSpec, canonical_json, content_digest
+from .sweep import (
+    BUILTIN_POLICIES,
+    PLATFORMS,
+    SweepCell,
+    SweepPolicy,
+    SweepReport,
+    SweepRunner,
+    simulate_cell,
+    sweep_grid,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "canonical_json",
+    "content_digest",
+    "ScenarioFamily",
+    "ScenarioRegistry",
+    "default_registry",
+    "BUILTIN_FAMILIES",
+    "PLATFORMS",
+    "SweepPolicy",
+    "BUILTIN_POLICIES",
+    "SweepCell",
+    "sweep_grid",
+    "simulate_cell",
+    "SweepReport",
+    "SweepRunner",
+]

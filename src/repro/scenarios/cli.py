@@ -1,0 +1,177 @@
+"""``python -m repro.scenarios`` — list, run and sweep traffic scenarios.
+
+Subcommands
+-----------
+``list``
+    Print every registered scenario (and family descriptions).
+``run NAME``
+    Compile one scenario and simulate it on one platform, printing the
+    aggregate report and the per-stream table.
+``sweep``
+    Run a (scenario × platform × policy) grid through the
+    :class:`~repro.scenarios.sweep.SweepRunner`, optionally across worker
+    processes and with an on-disk cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from ..experiments.common import format_table
+from .registry import default_registry
+from .sweep import (
+    BUILTIN_POLICIES,
+    PLATFORMS,
+    SweepCell,
+    SweepRunner,
+    simulate_cell,
+    sweep_grid,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _spec_overrides(args: argparse.Namespace) -> dict:
+    overrides = {}
+    for attr, key in (
+        ("streams", "num_streams"),
+        ("duration", "duration"),
+        ("scale", "scale"),
+        ("num_bins", "num_bins"),
+        ("seed", "seed"),
+    ):
+        value = getattr(args, attr, None)
+        if value is not None:
+            overrides[key] = value
+    return overrides
+
+
+def _add_spec_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--streams", type=int, help="override num_streams")
+    parser.add_argument("--duration", type=float, help="override footage duration (s)")
+    parser.add_argument("--scale", type=float, help="override spatial scale")
+    parser.add_argument("--num-bins", dest="num_bins", type=int, help="override E2SF bins")
+    parser.add_argument("--seed", type=int, help="override the workload seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Declarative traffic scenarios for the Ev-Edge simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered scenarios and families")
+
+    run = sub.add_parser("run", help="simulate one scenario")
+    run.add_argument("name", help="registered scenario name")
+    run.add_argument(
+        "--platform", default="xavier_agx", choices=sorted(PLATFORMS)
+    )
+    run.add_argument(
+        "--policy", default="batched", choices=sorted(BUILTIN_POLICIES)
+    )
+    _add_spec_options(run)
+
+    sweep = sub.add_parser("sweep", help="run a scenario/platform/policy grid")
+    sweep.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario names (default: every registered scenario)",
+    )
+    sweep.add_argument(
+        "--platforms",
+        default="xavier_agx",
+        help=f"comma-separated platform names ({', '.join(sorted(PLATFORMS))})",
+    )
+    sweep.add_argument(
+        "--policies",
+        default="batched",
+        help=f"comma-separated policy names ({', '.join(sorted(BUILTIN_POLICIES))})",
+    )
+    sweep.add_argument("--workers", type=int, default=1, help="worker processes")
+    sweep.add_argument("--cache-dir", default=None, help="on-disk result cache")
+    sweep.add_argument(
+        "--force", action="store_true", help="re-simulate cells even when cached"
+    )
+    _add_spec_options(sweep)
+    return parser
+
+
+def _cmd_list() -> int:
+    registry = default_registry()
+    print("registered scenarios:")
+    for name in registry.names():
+        print(f"  {registry.describe(name)}")
+    print(f"\nfamilies: {', '.join(registry.families())}")
+    print(f"platforms: {', '.join(sorted(PLATFORMS))}")
+    print(f"policies: {', '.join(sorted(BUILTIN_POLICIES))}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    spec = registry.resolve(args.name, **_spec_overrides(args))
+    # One cell simulated through the same path the sweep uses, so a `run`
+    # of a sweep row's (scenario, platform, policy) reproduces it exactly —
+    # including policies that force an optimization level.
+    cell = SweepCell(
+        scenario=spec, platform=args.platform, policy=BUILTIN_POLICIES[args.policy]
+    )
+    row = simulate_cell(cell)
+    print(
+        f"scenario {spec.name} (family {spec.family}) on {row['platform']} "
+        f"[policy {row['policy']}]  hash={cell.content_hash()[:12]}"
+    )
+    print(
+        f"  streams={row['num_streams']}  inferences={row['inferences']}  "
+        f"throughput={row['throughput_fps']:.1f} f/s  "
+        f"mean latency={row['mean_latency_ms']:.3f} ms  "
+        f"dropped={row['frames_dropped']}  energy={row['energy_j']:.3f} J"
+    )
+    print()
+    print(
+        format_table(
+            list(row["per_stream"]),
+            [
+                "stream",
+                "inferences",
+                "mean_latency_ms",
+                "frames_generated",
+                "frames_dropped",
+                "energy_j",
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    # Imported here: repro.experiments pulls in every figure harness, which
+    # the list/run paths don't need.
+    from ..experiments.scenario_sweep import format_scenario_sweep
+
+    registry = default_registry()
+    scenarios = (
+        args.scenarios.split(",") if args.scenarios else registry.names()
+    )
+    cells = sweep_grid(
+        scenarios,
+        platforms=tuple(args.platforms.split(",")),
+        policies=tuple(args.policies.split(",")),
+        **_spec_overrides(args),
+    )
+    runner = SweepRunner(cache_dir=args.cache_dir, workers=args.workers)
+    report = runner.run(cells, force=args.force)
+    print(format_scenario_sweep(report.to_result()))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_sweep(args)

@@ -7,10 +7,19 @@ import pytest
 from repro.core import DSFAConfig, EvEdgeConfig, OptimizationLevel
 from repro.core.nmp.candidate import Assignment, MappingCandidate
 from repro.events import generate_sequence
+from repro.frames.sparse import SparseFrameBatch
 from repro.hw import jetson_xavier_agx
 from repro.models import build_network
 from repro.nn import LayerGraph, LayerKind, LayerSpec, Precision
-from repro.runtime import KernelTrace, MultiStreamSimulator, StreamSource
+from repro.runtime import (
+    KernelTrace,
+    MultiStreamSimulator,
+    NetworkCostModel,
+    SignatureServer,
+    SimulationKernel,
+    StreamClient,
+    StreamSource,
+)
 
 
 @pytest.fixture(scope="module")
@@ -214,6 +223,61 @@ class TestMultiStreamSimulator:
         with pytest.raises(ValueError):
             MultiStreamSimulator(platform, [])
 
+    def test_offset_fleet_reports_active_window_throughput(
+        self, platform, sequence, network
+    ):
+        # A fleet that joins at t=100s must report the same throughput as the
+        # identical fleet starting at t=0: the denominator is the active
+        # window, not the absolute makespan.
+        base_sources = make_sources(sequence, network, 3)
+        offset_sources = [
+            StreamSource(
+                name=s.name,
+                sequence=s.sequence,
+                network=s.network,
+                config=s.config,
+                start_offset=s.start_offset + 100.0,
+            )
+            for s in base_sources
+        ]
+        base = MultiStreamSimulator(platform, base_sources).run()
+        offset = MultiStreamSimulator(platform, offset_sources).run()
+        assert base.throughput > 0
+        assert offset.start_time == pytest.approx(100.0)
+        assert offset.active_window == pytest.approx(base.active_window)
+        assert offset.throughput == pytest.approx(base.throughput)
+        # The absolute-makespan denominator would have crushed the number.
+        naive = (offset.frames_generated - offset.frames_dropped) / offset.makespan
+        assert offset.throughput > 50 * naive
+
+    def test_stop_time_truncates_stream(self, platform, sequence, network):
+        full = StreamSource("s", sequence, network, EvEdgeConfig(num_bins=5))
+        frames = full.generate_frames()
+        cutoff = frames[len(frames) // 2][0]
+        truncated = StreamSource(
+            "s", sequence, network, EvEdgeConfig(num_bins=5), stop_time=cutoff
+        )
+        kept = truncated.generate_frames()
+        assert 0 < len(kept) < len(frames)
+        assert all(arrival <= cutoff for arrival, _ in kept)
+        assert truncated.end_time == pytest.approx(cutoff)
+
+    def test_zero_frame_stream_still_ends(self, platform, sequence, network):
+        # A churn window that closes before the first arrival produces no
+        # frames, but the stream must still announce StreamEnd (leave-side
+        # remap triggers and traces depend on it).
+        config = EvEdgeConfig(num_bins=5, optimization=OptimizationLevel.E2SF_DSFA)
+        sources = [
+            StreamSource("empty", sequence, network, config, stop_time=-1.0),
+            StreamSource("live", sequence, network, config),
+        ]
+        trace = KernelTrace()
+        report = MultiStreamSimulator(platform, sources).run(trace=trace)
+        assert report.reports["empty"].frames_generated == 0
+        assert report.reports["empty"].num_inferences == 0
+        ends = [e for e in trace.entries if e.kind == "StreamEnd"]
+        assert {e.stream for e in ends} == {"empty", "live"}
+
     def test_energy_is_conserved_across_merges(self, platform, sequence, network):
         # Splitting a merged inference's energy across member streams must
         # preserve the total paid for the batched run.
@@ -223,3 +287,138 @@ class TestMultiStreamSimulator:
         for stream in merged.reports.values():
             for record in stream.records:
                 assert record.energy > 0
+
+
+def _manual_server(platform, sequence, network, max_merge_streams, num_clients):
+    """A SignatureServer plus N clients sharing it, driven by hand."""
+    kernel = SimulationKernel()
+    config = EvEdgeConfig(num_bins=5, optimization=OptimizationLevel.E2SF)
+    model = NetworkCostModel(network, platform, config=config)
+    server = SignatureServer(
+        kernel, model, name="server:test", max_merge_streams=max_merge_streams
+    )
+    clients = []
+    for i in range(num_clients):
+        source = StreamSource(f"c{i}", sequence, network, config)
+        clients.append(StreamClient(source, kernel, server, model))
+    frames = [frame for _, frame in StreamSource(
+        "feed", sequence, network, config
+    ).generate_frames()]
+    return kernel, server, clients, frames
+
+
+class TestSignatureServerMerging:
+    def test_merged_latency_attributed_per_member_share(
+        self, platform, sequence, network
+    ):
+        # Regression for the backlog estimator: after a cross-stream merge
+        # each member's note_dispatch must see its *share* of the batched
+        # latency, not the full batch latency — otherwise the per-dispatch
+        # service estimate (_last_duration) is inflated by the merge and the
+        # drop rule misbehaves on the frames that follow.
+        kernel, server, clients, frames = _manual_server(
+            platform, sequence, network, max_merge_streams=2, num_clients=3
+        )
+        a, b, c = clients
+        server.dispatch(a, SparseFrameBatch([frames[0]]), 0.0)
+        busy = server.busy_until()
+        assert busy > 0
+        # Both dispatches queue while the server is busy, then merge.
+        server.dispatch(b, SparseFrameBatch([frames[1]]), 0.0)
+        server.dispatch(c, SparseFrameBatch([frames[2]]), 0.0)
+        kernel.run()
+        assert server.merged_dispatches == 2
+        (rec_b,) = b.report.records
+        (rec_c,) = c.report.records
+        assert (rec_b.start_time, rec_b.end_time) == (rec_c.start_time, rec_c.end_time)
+        batch_latency = rec_b.end_time - rec_b.start_time
+        # Equal one-frame members: each share is half the batched latency.
+        assert b._last_duration == pytest.approx(batch_latency / 2)
+        assert c._last_duration == pytest.approx(batch_latency / 2)
+        assert b._last_duration + c._last_duration == pytest.approx(batch_latency)
+
+    def test_merge_budget_counts_distinct_streams(self, platform, sequence, network):
+        # One stream's backlog must not consume the whole cross-stream merge
+        # budget: the merge takes the oldest pending dispatch of each of the
+        # first max_merge_streams *distinct* streams.
+        kernel, server, clients, frames = _manual_server(
+            platform, sequence, network, max_merge_streams=2, num_clients=2
+        )
+        a, b = clients
+        server.dispatch(a, SparseFrameBatch([frames[0]]), 0.0)
+        server.dispatch(a, SparseFrameBatch([frames[1]]), 0.0)  # pending A#1
+        server.dispatch(a, SparseFrameBatch([frames[2]]), 0.0)  # pending A#2
+        server.dispatch(b, SparseFrameBatch([frames[3]]), 0.0)  # pending B#1
+        kernel.run()
+        a_records = sorted(a.report.records, key=lambda r: r.start_time)
+        (rec_b,) = b.report.records
+        assert len(a_records) == 3
+        # B's dispatch shares the first post-solo window with A's oldest
+        # pending dispatch instead of starving behind A's backlog.
+        assert (rec_b.start_time, rec_b.end_time) == (
+            a_records[1].start_time,
+            a_records[1].end_time,
+        )
+        # A's second pending dispatch runs in a later, separate window.
+        assert a_records[2].start_time >= a_records[1].end_time - 1e-12
+
+    def test_max_merge_one_never_batches(self, platform, sequence, network):
+        kernel, server, clients, frames = _manual_server(
+            platform, sequence, network, max_merge_streams=1, num_clients=2
+        )
+        a, b = clients
+        server.dispatch(a, SparseFrameBatch([frames[0]]), 0.0)
+        server.dispatch(a, SparseFrameBatch([frames[1]]), 0.0)
+        server.dispatch(b, SparseFrameBatch([frames[2]]), 0.0)
+        kernel.run()
+        assert server.merged_dispatches == 0
+        windows = [
+            (r.start_time, r.end_time)
+            for client in (a, b)
+            for r in client.report.records
+        ]
+        assert len(windows) == len(set(windows)) == 3
+
+
+class TestDropAccountingConsistency:
+    @staticmethod
+    def _evicted_frames_by_stream(trace):
+        totals = {}
+        reasons = set()
+        for entry in trace.entries:
+            if entry.kind != "QueueEvict":
+                continue
+            fields = dict(part.split("=", 1) for part in entry.detail.split())
+            totals[entry.stream] = totals.get(entry.stream, 0) + int(fields["frames"])
+            reasons.add(fields["reason"])
+        return totals, reasons
+
+    def test_frames_dropped_match_evict_events_on_both_paths(
+        self, platform, sequence
+    ):
+        # frames_dropped totals must equal the QueueEvict frame counts in the
+        # kernel trace for every stream, across both eviction paths: the
+        # client-side backlog rule (no-DSFA streams) and the server-side
+        # bounded pending queue (queue-full).
+        heavy = build_network("adaptive_spikenet", 128, 128)
+        depth = DSFAConfig(inference_queue_depth=1)
+        no_dsfa = EvEdgeConfig(
+            num_bins=10, optimization=OptimizationLevel.E2SF, dsfa=depth
+        )
+        with_dsfa = EvEdgeConfig(
+            num_bins=10, optimization=OptimizationLevel.E2SF_DSFA, dsfa=depth
+        )
+        sources = [
+            StreamSource(f"raw{i}", sequence, heavy, no_dsfa) for i in range(4)
+        ] + [
+            StreamSource(f"agg{i}", sequence, heavy, with_dsfa, start_offset=0.001 * i)
+            for i in range(4)
+        ]
+        trace = KernelTrace()
+        report = MultiStreamSimulator(platform, sources).run(trace=trace)
+        evicted, reasons = self._evicted_frames_by_stream(trace)
+        assert report.frames_dropped > 0
+        assert {"backlog", "queue-full"} <= reasons
+        for name, stream in report.reports.items():
+            assert stream.frames_dropped == evicted.get(name, 0), name
+        assert report.frames_dropped == sum(evicted.values())
