@@ -40,7 +40,8 @@ from ..runtime.sim import (
     PipelineReport,
     SimulationKernel,
 )
-from ..runtime.streams import SerialExecutor, StreamClient, StreamSource
+from ..runtime.executor import SerialExecutor
+from ..runtime.streams import StreamClient, StreamSource
 from .config import EvEdgeConfig
 from .nmp.candidate import MappingCandidate
 

@@ -358,6 +358,10 @@ class SparseFrameBatch:
         """Mean spatial density across the batch (0 for an empty batch)."""
         if not self.frames:
             return 0.0
+        if len(self.frames) == 1:
+            # Bit-identical to np.mean over one element; single-frame
+            # batches dominate the traffic hot path.
+            return float(self.frames[0].density)
         return float(np.mean([f.density for f in self.frames]))
 
     def to_dense(self) -> np.ndarray:
@@ -368,7 +372,14 @@ class SparseFrameBatch:
 
     @staticmethod
     def concatenate(batches: Sequence["SparseFrameBatch"]) -> "SparseFrameBatch":
-        """Concatenate several batches preserving order."""
+        """Concatenate several batches preserving order.
+
+        A single input batch is returned as-is (batches are value objects —
+        callers never mutate them), so the unmerged dispatch hot path pays
+        no copy or re-validation.
+        """
+        if len(batches) == 1:
+            return batches[0]
         frames: List[SparseFrame] = []
         for b in batches:
             frames.extend(b.frames)

@@ -36,6 +36,7 @@ class LayerGraph:
         self.name = name
         self.task = task
         self._graph = nx.DiGraph()
+        self._topo_order: Optional[List[str]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -54,6 +55,7 @@ class LayerGraph:
         if not nx.is_directed_acyclic_graph(self._graph):
             self._graph.remove_node(layer.name)
             raise ValueError(f"adding layer '{layer.name}' would create a cycle")
+        self._topo_order = None  # mutation invalidates the cached order
         return layer
 
     def chain(self, layers: Sequence[LayerSpec]) -> None:
@@ -76,13 +78,25 @@ class LayerGraph:
         """Return the :class:`LayerSpec` with the given name."""
         return self._graph.nodes[name]["spec"]
 
+    def _topological_names(self) -> List[str]:
+        """Cached topological node order (recomputed after mutations).
+
+        A fleet of streams resolves its cost-surface signatures by walking
+        every source's layer list; without the cache that is one networkx
+        topological sort per stream at fleet start-up.
+        """
+        if self._topo_order is None:
+            self._topo_order = list(nx.topological_sort(self._graph))
+        return self._topo_order
+
     def layers(self) -> List[LayerSpec]:
         """All layers in topological order."""
-        return [self._graph.nodes[n]["spec"] for n in nx.topological_sort(self._graph)]
+        nodes = self._graph.nodes
+        return [nodes[n]["spec"] for n in self._topological_names()]
 
     def layer_names(self) -> List[str]:
         """Layer names in topological order."""
-        return list(nx.topological_sort(self._graph))
+        return list(self._topological_names())
 
     def predecessors(self, name: str) -> List[str]:
         """Names of the layers feeding ``name``."""

@@ -1,0 +1,148 @@
+"""Pre-refactor reference implementations of the kernel hot path.
+
+The fleet-scale refactor (O(1) event routing in
+:class:`~repro.runtime.sim.SimulationKernel`, indexed pending queues and
+coalesced wake-ups in :class:`~repro.runtime.executor.SignatureServer`) is
+required to be *report-identical*: the same fleet and seed must produce
+bit-identical :class:`~repro.runtime.streams.MultiStreamReport` aggregates
+before and after.  This module keeps the pre-refactor data structures alive
+as oracles so that claim stays machine-checked:
+
+* :class:`LegacyScanKernel` — linear handler-scan delivery: every event
+  walks *all* registered handlers of its type and string-compares stream
+  names, exactly as the kernel did before the routing table.
+* :class:`LegacyListServer` — one flat pending list per server with
+  O(queue) scans for enqueue bounding and distinct-stream merge selection,
+  plus one scheduled wake-up per enqueued dispatch (the event storm the
+  refactor coalesces).
+
+Both implement the *current* accounting semantics (per-member latency
+shares, the queued-service backlog estimate) on the *old* data structures —
+they isolate the performance refactor, not the accounting bugfixes, so the
+equivalence tests compare like with like.  ``MultiStreamSimulator(...,
+kernel_factory=LegacyScanKernel, server_factory=LegacyListServer)`` runs a
+fleet on the legacy path; ``benchmarks/bench_kernel_scaling.py`` uses the
+same hooks to report the refactor's speedup.
+
+Like :func:`~repro.core.nmp.scheduler.ExecutionScheduler.schedule_reference`
+for the NMP fast path, this is deliberately unoptimized code kept for
+verification — do not use it in production clients.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .executor import SignatureServer, _PendingDispatch
+from .sim import InferenceDone, QueueEvict, SimEvent, SimulationKernel
+
+__all__ = ["LegacyScanKernel", "LegacyListServer"]
+
+
+class LegacyScanKernel(SimulationKernel):
+    """Linear-scan event delivery (the pre-routing-table kernel)."""
+
+    def __init__(self, trace: Optional[object] = None) -> None:
+        super().__init__(trace=trace)
+        self._legacy_handlers: Dict[
+            type, List[Tuple[Optional[str], Callable[[SimEvent], None]]]
+        ] = {}
+
+    def on(
+        self,
+        event_type: type,
+        handler: Callable[[SimEvent], None],
+        stream: Optional[str] = None,
+    ) -> None:
+        self._legacy_handlers.setdefault(event_type, []).append((stream, handler))
+
+    def run(self, until: Optional[float] = None) -> float:
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            time, _, _, event = heapq.heappop(self._heap)
+            self.now = time
+            self.events_processed += 1
+            if self.trace is not None:
+                self.trace.record(event)
+            for stream, handler in self._legacy_handlers.get(type(event), []):
+                if stream is None or stream == event.stream:
+                    handler(event)
+        return self.now
+
+
+class LegacyListServer(SignatureServer):
+    """Flat-list pending queue with per-dispatch wake-ups.
+
+    The accounting operations (eviction order, service-estimate running
+    sum, merge member order) are performed in exactly the same order as the
+    indexed implementation, so the two produce bit-identical reports; only
+    the data-structure costs differ.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._pending_list: List[_PendingDispatch] = []
+        self._legacy_seq = itertools.count()
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending_list)
+
+    def pending_entries(self) -> List[_PendingDispatch]:
+        return list(self._pending_list)
+
+    def dispatch(self, client, batch, time: float) -> None:
+        busy = self.busy_until(client)
+        if not self._pending_list and busy <= time:
+            self._execute([_PendingDispatch(client, batch, time)], time)
+            return
+        mine = [p for p in self._pending_list if p.client is client]
+        if len(mine) >= client.queue_depth:
+            oldest = mine[0]
+            self._pending_list.remove(oldest)
+            self._pending_service -= oldest.service_estimate
+            client.report.frames_dropped += len(oldest.batch)
+            self.kernel.schedule(
+                QueueEvict(
+                    time=time,
+                    stream=client.name,
+                    num_frames=len(oldest.batch),
+                    reason="queue-full",
+                )
+            )
+        entry = _PendingDispatch(
+            client, batch, time, next(self._legacy_seq), max(client.last_duration, 0.0)
+        )
+        self._pending_list.append(entry)
+        self._pending_service += entry.service_estimate
+        # One wake-up per enqueued dispatch: the pre-refactor event storm.
+        self.kernel.schedule(
+            InferenceDone(time=max(busy, time), stream=self.name, records=())
+        )
+
+    def _on_done(self, event: InferenceDone) -> None:
+        if not self._pending_list:
+            return
+        busy = self.busy_until()
+        if busy > event.time:
+            self.kernel.schedule(
+                InferenceDone(time=busy, stream=self.name, records=())
+            )
+            return
+        members: List[_PendingDispatch] = []
+        remaining: List[_PendingDispatch] = []
+        taken = set()
+        for entry in self._pending_list:
+            client_id = id(entry.client)
+            if client_id not in taken and len(taken) < self.max_merge_streams:
+                taken.add(client_id)
+                members.append(entry)
+            else:
+                remaining.append(entry)
+        self._pending_list = remaining
+        for member in members:
+            self._pending_service -= member.service_estimate
+        self._execute(members, event.time)

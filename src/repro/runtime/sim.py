@@ -9,12 +9,18 @@ on:
 * **Typed events** — :class:`FrameReady`, :class:`DispatchBatch`,
   :class:`InferenceDone`, :class:`QueueEvict`, :class:`StreamEnd` and
   :class:`RemapTriggered` — each carrying its simulation time and the name
-  of the traffic stream it belongs to.
+  of the traffic stream it belongs to.  Events are ``__slots__`` value
+  objects: a fleet-scale run allocates hundreds of thousands of them, so
+  they carry no per-instance ``__dict__``.
 * :class:`SimulationKernel` — a priority-queue event loop.  Events at the
   same timestamp are ordered by a per-type priority (completions free their
   devices before new frames are examined, dispatches run before later
   arrivals) and FIFO within a type, which is exactly the ordering the seed's
-  inline loop produced implicitly.  The kernel also owns per-resource busy
+  inline loop produced implicitly.  Delivery is O(1) in the number of
+  registered handlers: handlers live in a routing table keyed on
+  ``(event_type, stream)`` with a wildcard bucket per type, so a
+  1024-stream fleet no longer pays a linear scan over every stream's
+  handlers for every event.  The kernel also owns per-resource busy
   tracking (``busy_until`` / ``acquire``) so clients share one notion of
   device occupancy.
 * :class:`LayerCostTable` — a memo table for per-layer latency/energy keyed
@@ -32,10 +38,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
-
-import numpy as np
 
 from ..core.config import EvEdgeConfig
 from ..core.nmp.candidate import MappingCandidate
@@ -84,49 +88,119 @@ class InferenceRecord:
         return self.end_time - self.dispatch_time
 
 
-@dataclass
 class PipelineReport:
-    """Aggregate statistics of one pipeline run over a sequence."""
+    """Aggregate statistics of one pipeline run over a sequence.
 
-    records: List[InferenceRecord] = field(default_factory=list)
-    frames_generated: int = 0
-    frames_merged: int = 0
-    frames_dropped: int = 0
+    Aggregates (latency/energy/occupancy sums, completion time) are
+    maintained as *streaming accumulators* updated by :meth:`add_records`,
+    so reading a property never materializes an array over the full record
+    list — a fleet-scale run reads these per stream without touching its
+    (possibly huge) record history.  With ``keep_records=False`` the record
+    list itself is not retained either: only the accumulators survive, which
+    is the memory-lean mode the large-fleet benchmarks run in.  The default
+    keeps full records, which traces and the per-record regression tests
+    rely on.
+
+    ``records`` stays a plain mutable list for backward compatibility; a
+    report whose list was appended to directly (bypassing
+    :meth:`add_records`) falls back to recomputing its aggregates from the
+    records with the same sequential formulas.
+    """
+
+    __slots__ = (
+        "records",
+        "frames_generated",
+        "frames_merged",
+        "frames_dropped",
+        "keep_records",
+        "_num_records",
+        "_latency_sum",
+        "_energy_sum",
+        "_occupancy_sum",
+        "_max_end_time",
+    )
+
+    def __init__(self, keep_records: bool = True) -> None:
+        self.records: List[InferenceRecord] = []
+        self.frames_generated = 0
+        self.frames_merged = 0
+        self.frames_dropped = 0
+        self.keep_records = keep_records
+        self._num_records = 0
+        self._latency_sum = 0.0
+        self._energy_sum = 0.0
+        self._occupancy_sum = 0.0
+        self._max_end_time = 0.0
+
+    def add_records(self, records) -> None:
+        """Account ``records`` into the streaming aggregates (and the list)."""
+        for record in records:
+            self._num_records += 1
+            self._latency_sum += record.latency
+            self._energy_sum += record.energy
+            self._occupancy_sum += record.occupancy
+            if record.end_time > self._max_end_time:
+                self._max_end_time = record.end_time
+        if self.keep_records:
+            self.records.extend(records)
+
+    def _accumulators(self) -> Tuple[int, float, float, float, float]:
+        """(count, latency_sum, energy_sum, occupancy_sum, max_end_time).
+
+        Recomputed from ``records`` when the list was mutated directly.
+        """
+        if self.keep_records and len(self.records) != self._num_records:
+            latency = energy = occupancy = max_end = 0.0
+            for record in self.records:
+                latency += record.latency
+                energy += record.energy
+                occupancy += record.occupancy
+                if record.end_time > max_end:
+                    max_end = record.end_time
+            return len(self.records), latency, energy, occupancy, max_end
+        return (
+            self._num_records,
+            self._latency_sum,
+            self._energy_sum,
+            self._occupancy_sum,
+            self._max_end_time,
+        )
 
     @property
     def num_inferences(self) -> int:
         """Number of network invocations performed."""
-        return len(self.records)
+        return self._accumulators()[0]
 
     @property
     def total_time(self) -> float:
         """Wall-clock completion time of the last inference."""
-        return max((r.end_time for r in self.records), default=0.0)
+        return self._accumulators()[4]
 
     @property
     def mean_latency(self) -> float:
         """Mean per-inference latency (dispatch to completion), seconds."""
-        if not self.records:
+        count, latency_sum, _, _, _ = self._accumulators()
+        if count == 0:
             return 0.0
-        return float(np.mean([r.latency for r in self.records]))
+        return latency_sum / count
 
     @property
     def total_energy(self) -> float:
         """Total energy in joules."""
-        return float(sum(r.energy for r in self.records))
+        return self._accumulators()[2]
 
     @property
     def mean_occupancy(self) -> float:
         """Mean input occupancy across inferences."""
-        if not self.records:
+        count, _, _, occupancy_sum, _ = self._accumulators()
+        if count == 0:
             return 0.0
-        return float(np.mean([r.occupancy for r in self.records]))
+        return occupancy_sum / count
 
 
 # ----------------------------------------------------------------------
 # typed events
 # ----------------------------------------------------------------------
-@dataclass
 class SimEvent:
     """Base class of all kernel events.
 
@@ -134,63 +208,107 @@ class SimEvent:
     (which free devices) are processed first, then queue evictions, then
     batch dispatches, then new frame arrivals, and finally end-of-stream
     flushes.  Within one priority class events are FIFO.
+
+    Events are plain ``__slots__`` classes rather than dataclasses: a
+    fleet-scale run creates one object per frame arrival, dispatch and
+    completion, and the per-instance ``__dict__`` was a measurable share of
+    the kernel's allocation traffic.
     """
 
-    time: float
-    stream: str = ""
+    __slots__ = ("time", "stream")
 
     PRIORITY = 5
+
+    def __init__(self, time: float, stream: str = "") -> None:
+        self.time = time
+        self.stream = stream
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(time={self.time!r}, stream={self.stream!r})"
 
     def trace_detail(self) -> str:
         """Short human-readable payload summary for the kernel trace."""
         return ""
 
 
-@dataclass
 class InferenceDone(SimEvent):
     """An inference finished; carries the per-stream records it produced."""
 
-    records: Tuple[InferenceRecord, ...] = ()
+    __slots__ = ("records",)
 
     PRIORITY = 0
+
+    def __init__(
+        self,
+        time: float,
+        stream: str = "",
+        records: Tuple[InferenceRecord, ...] = (),
+    ) -> None:
+        super().__init__(time, stream)
+        self.records = records
 
     def trace_detail(self) -> str:
         frames = sum(r.num_frames for r in self.records)
         return f"records={len(self.records)} frames={frames}"
 
 
-@dataclass
 class QueueEvict(SimEvent):
     """Frames were evicted from a bounded queue (backlog or staleness)."""
 
-    num_frames: int = 1
-    reason: str = "backlog"
+    __slots__ = ("num_frames", "reason")
 
     PRIORITY = 1
+
+    def __init__(
+        self,
+        time: float,
+        stream: str = "",
+        num_frames: int = 1,
+        reason: str = "backlog",
+    ) -> None:
+        super().__init__(time, stream)
+        self.num_frames = num_frames
+        self.reason = reason
 
     def trace_detail(self) -> str:
         return f"frames={self.num_frames} reason={self.reason}"
 
 
-@dataclass
 class DispatchBatch(SimEvent):
     """A merged batch was handed to the inference queue of its stream."""
 
-    batch: Optional[SparseFrameBatch] = None
+    __slots__ = ("batch",)
 
     PRIORITY = 2
+
+    def __init__(
+        self,
+        time: float,
+        stream: str = "",
+        batch: Optional[SparseFrameBatch] = None,
+    ) -> None:
+        super().__init__(time, stream)
+        self.batch = batch
 
     def trace_detail(self) -> str:
         return f"frames={len(self.batch) if self.batch is not None else 0}"
 
 
-@dataclass
 class FrameReady(SimEvent):
     """A sparse frame became available on a traffic stream."""
 
-    frame: Optional[SparseFrame] = None
+    __slots__ = ("frame",)
 
     PRIORITY = 3
+
+    def __init__(
+        self,
+        time: float,
+        stream: str = "",
+        frame: Optional[SparseFrame] = None,
+    ) -> None:
+        super().__init__(time, stream)
+        self.frame = frame
 
     def trace_detail(self) -> str:
         if self.frame is None:
@@ -198,14 +316,14 @@ class FrameReady(SimEvent):
         return f"density={self.frame.density:.4f}"
 
 
-@dataclass
 class StreamEnd(SimEvent):
     """A traffic stream produced its last frame (triggers a final flush)."""
+
+    __slots__ = ()
 
     PRIORITY = 4
 
 
-@dataclass
 class RemapTriggered(SimEvent):
     """The traffic mix changed (a stream joined or left); remapping may run.
 
@@ -215,9 +333,13 @@ class RemapTriggered(SimEvent):
     so a join's first frame already executes under the adapted mapping.
     """
 
-    reason: str = "join"  # "join" or "leave"
+    __slots__ = ("reason",)
 
     PRIORITY = 1
+
+    def __init__(self, time: float, stream: str = "", reason: str = "join") -> None:
+        super().__init__(time, stream)
+        self.reason = reason  # "join" or "leave"
 
     def trace_detail(self) -> str:
         return f"reason={self.reason}"
@@ -229,6 +351,15 @@ class RemapTriggered(SimEvent):
 class SimulationKernel:
     """Priority-queue event loop with per-resource busy tracking.
 
+    Handler delivery is O(1) in the number of registered handlers: the
+    kernel keeps a routing table keyed on ``(event_type, stream)`` plus a
+    wildcard bucket per type (handlers registered with ``stream=None``).
+    The first event of a given ``(type, stream)`` builds that key's route —
+    the exact and wildcard handler lists merged by registration order — and
+    later registrations patch every built route they belong to, so handlers
+    registered mid-run are delivered exactly as the pre-routing linear scan
+    would have: FIFO by registration order within an event's priority class.
+
     Parameters
     ----------
     trace:
@@ -239,7 +370,13 @@ class SimulationKernel:
     def __init__(self, trace: Optional[object] = None) -> None:
         self._heap: List[Tuple[float, int, int, SimEvent]] = []
         self._seq = itertools.count()
-        self._handlers: Dict[type, List[Tuple[Optional[str], Callable[[SimEvent], None]]]] = {}
+        # Registration tokens order handlers globally; routes merge the
+        # exact and wildcard lists by token.
+        self._reg = itertools.count()
+        self._exact: Dict[Tuple[type, str], List[Tuple[int, Callable[[SimEvent], None]]]] = {}
+        self._wild: Dict[type, List[Tuple[int, Callable[[SimEvent], None]]]] = {}
+        self._routes: Dict[Tuple[type, str], List[Callable[[SimEvent], None]]] = {}
+        self._routed_streams: Dict[type, set] = {}
         self._busy: Dict[str, float] = {}
         self.now = 0.0
         self.events_processed = 0
@@ -267,21 +404,48 @@ class SimulationKernel:
         delivered; handlers registered with ``stream=None`` see every event
         of the type.
         """
-        self._handlers.setdefault(event_type, []).append((stream, handler))
+        token = next(self._reg)
+        if stream is None:
+            self._wild.setdefault(event_type, []).append((token, handler))
+            # A wildcard handler belongs to every stream's route of this
+            # type; the new token is the largest so far, so appending keeps
+            # each built route sorted by registration order.
+            for routed in self._routed_streams.get(event_type, ()):
+                self._routes[(event_type, routed)].append(handler)
+        else:
+            self._exact.setdefault((event_type, stream), []).append((token, handler))
+            if stream in self._routed_streams.get(event_type, ()):
+                self._routes[(event_type, stream)].append(handler)
+
+    def _build_route(
+        self, event_type: type, stream: str
+    ) -> List[Callable[[SimEvent], None]]:
+        """Merge exact and wildcard handlers of one key by registration order."""
+        entries = list(self._exact.get((event_type, stream), ()))
+        entries += self._wild.get(event_type, ())
+        entries.sort(key=lambda entry: entry[0])
+        route = [handler for _, handler in entries]
+        self._routes[(event_type, stream)] = route
+        self._routed_streams.setdefault(event_type, set()).add(stream)
+        return route
 
     def run(self, until: Optional[float] = None) -> float:
         """Process events in time/priority order; return the final time."""
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        heap = self._heap
+        routes = self._routes
+        while heap:
+            if until is not None and heap[0][0] > until:
                 break
-            time, _, _, event = heapq.heappop(self._heap)
+            time, _, _, event = heapq.heappop(heap)
             self.now = time
             self.events_processed += 1
             if self.trace is not None:
                 self.trace.record(event)
-            for stream, handler in self._handlers.get(type(event), []):
-                if stream is None or stream == event.stream:
-                    handler(event)
+            route = routes.get((event.__class__, event.stream))
+            if route is None:
+                route = self._build_route(event.__class__, event.stream)
+            for handler in route:
+                handler(event)
         return self.now
 
     @property
@@ -292,6 +456,8 @@ class SimulationKernel:
     # -- resources -----------------------------------------------------
     def busy_until(self, *resources: str) -> float:
         """Latest time any of ``resources`` is occupied (0 when never used)."""
+        if len(resources) == 1:  # single-PE mappings dominate the hot path
+            return self._busy.get(resources[0], 0.0)
         if not resources:
             return 0.0
         return max(self._busy.get(r, 0.0) for r in resources)
@@ -356,13 +522,22 @@ class LayerCostTable:
         self.misses = 0
 
     def bucket(self, occupancy: Optional[float]) -> Optional[float]:
-        """Quantize an occupancy to its bucket representative (clamped [0, 1])."""
+        """Quantize an occupancy to its bucket representative (clamped [0, 1]).
+
+        Nonzero occupancies round *up* to at least the first bucket: a small
+        positive density (e.g. ``1e-4`` with the default 1/64 resolution)
+        must not quantize to ``0.0``, which would zero the dense
+        memory-traffic term in the latency model and clamp sparse costs down
+        to the ``min_sparse_fraction`` floor regardless of the actual input.
+        """
         if occupancy is None:
             return None
         occupancy = min(max(float(occupancy), 0.0), 1.0)
         if not self.occupancy_resolution:
             return occupancy
         steps = round(occupancy / self.occupancy_resolution)
+        if steps == 0 and occupancy > 0.0:
+            steps = 1
         return min(steps * self.occupancy_resolution, 1.0)
 
     def layer_cost(
@@ -480,6 +655,30 @@ class NetworkCostModel:
         """True when the configured optimization level executes sparse kernels."""
         return self.config.optimization.uses_sparse
 
+    @staticmethod
+    def signature_for(
+        network: LayerGraph,
+        config: Optional[EvEdgeConfig] = None,
+        mapping: Optional[MappingCandidate] = None,
+    ) -> tuple:
+        """Signature of the cost surface *without* constructing a model.
+
+        The traffic simulator uses this to decide whether a stream joins an
+        existing :class:`NetworkCostModel` (and execution server) before
+        paying for a full assignment resolution — constructing a model per
+        source just to discard it when the signature already had a server
+        was a measurable share of fleet start-up time.
+        """
+        config = config or EvEdgeConfig()
+        mapping_key = None if mapping is None else mapping.key()
+        return (
+            network.name,
+            tuple(spec for spec in network.layers() if spec.kind.is_compute),
+            mapping_key,
+            config.optimization,
+            config.baseline_precision,
+        )
+
     def signature(self) -> tuple:
         """Identity of the (network, mapping, config) cost surface.
 
@@ -488,15 +687,11 @@ class NetworkCostModel:
         of the identity: two networks that share a name but differ
         structurally (e.g. the same zoo model built at two resolutions) must
         not share a cost model or an execution server.
+
+        Delegates to :meth:`signature_for` so the model-free and model-bound
+        identity definitions cannot drift apart.
         """
-        mapping_key = None if self.mapping is None else self.mapping.key()
-        return (
-            self.network.name,
-            tuple(self._specs),
-            mapping_key,
-            self.config.optimization,
-            self.config.baseline_precision,
-        )
+        return NetworkCostModel.signature_for(self.network, self.config, self.mapping)
 
     # ------------------------------------------------------------------
     def inference_cost(self, occupancy: float, batch: int) -> Tuple[float, float]:

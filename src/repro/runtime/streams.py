@@ -10,7 +10,8 @@ the no-DSFA path), emits ``DispatchBatch`` events and accounts the resulting
 ``InferenceDone`` records into a per-stream
 :class:`~repro.runtime.sim.PipelineReport`.
 
-Two executors give dispatches their hardware semantics:
+Two executors give dispatches their hardware semantics (both live in
+:mod:`repro.runtime.executor` and are re-exported here):
 
 * :class:`SerialExecutor` — the whole platform is one serial accelerator
   (the seed pipeline's scalar ``busy_until``); dispatches queue behind each
@@ -23,6 +24,9 @@ Two executors give dispatches their hardware semantics:
   with ``QueueEvict`` once a stream exceeds its ``inference_queue_depth``)
   and are merged — cross-stream batching over at most ``max_merge_streams``
   *distinct* streams — into one batched inference when the devices free up.
+  Pending work is indexed (per-client deques + an aggregate FIFO heap) so
+  dispatch, eviction and merge selection stay O(1) amortized at fleet
+  scale.
 
 :class:`MultiStreamSimulator` multiplexes N heterogeneous streams onto one
 :class:`~repro.hw.pe.Platform` with per-PE busy tracking, sharing a single
@@ -45,9 +49,7 @@ concurrently with inference in a real deployment).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import EvEdgeConfig
 from ..core.dsfa import DynamicSparseFrameAggregator
@@ -62,11 +64,11 @@ from ..hw.pe import Platform
 from ..hw.profiler import PlatformProfiler
 from ..nn.graph import LayerGraph, MultiTaskGraph, TaskSpec
 from ..nn.quantization import Precision
+from .executor import SerialExecutor, SignatureServer
 from .sim import (
     DispatchBatch,
     FrameReady,
     InferenceDone,
-    InferenceRecord,
     LayerCostTable,
     NetworkCostModel,
     PipelineReport,
@@ -124,6 +126,9 @@ class StreamSource:
     mapping: Optional[MappingCandidate] = None
     start_offset: float = 0.0
     stop_time: Optional[float] = None
+    _frames: Optional[List[Tuple[float, SparseFrame]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def generate_frames(self) -> List[Tuple[float, SparseFrame]]:
         """Render the stream as ``(arrival_time, sparse_frame)`` pairs.
@@ -132,7 +137,15 @@ class StreamSource:
         shifted by the stream's ``start_offset``.  Frames arriving after
         ``stop_time`` are dropped at the source: a stream that has left the
         platform produces no traffic.
+
+        Rendering is a pure function of the (immutable) sequence and config,
+        so the result is computed once and cached on the source: repeated
+        simulations of the same fleet — sweeps, benchmarks, equivalence
+        oracles — skip the E2SF conversion entirely.  Callers must not
+        mutate the returned list.
         """
+        if self._frames is not None:
+            return self._frames
         converter = Event2SparseFrameConverter(self.config.num_bins)
         timestamps = self.sequence.frame_timestamps
         out: List[Tuple[float, SparseFrame]] = []
@@ -145,6 +158,7 @@ class StreamSource:
                 if self.stop_time is not None and arrival > self.stop_time:
                     continue
                 out.append((arrival, frame))
+        self._frames = out
         return out
 
     @property
@@ -165,179 +179,6 @@ class StreamSource:
         return max(end, self.start_offset)
 
 
-class SerialExecutor:
-    """Whole-platform serial accelerator (the seed's scalar ``busy_until``).
-
-    Every dispatch is queued immediately: it starts at
-    ``max(dispatch_time, busy_until)`` and occupies the single shared
-    resource until it completes, regardless of which PEs the mapping uses —
-    single-task execution is serial end to end.
-    """
-
-    def __init__(self, kernel: SimulationKernel, resource: str = "platform") -> None:
-        self.kernel = kernel
-        self.resource = resource
-
-    def busy_until(self, client: Optional["StreamClient"] = None) -> float:
-        """Time the accelerator frees up."""
-        return self.kernel.busy_until(self.resource)
-
-    def dispatch(self, client: "StreamClient", batch: SparseFrameBatch, time: float) -> None:
-        """Execute ``batch`` for ``client``, queuing behind earlier work."""
-        occupancy = batch.mean_density if client.cost_model.uses_sparse else 1.0
-        latency, energy = client.cost_model.inference_cost(
-            max(occupancy, 1e-4), max(len(batch), 1)
-        )
-        start, end = self.kernel.acquire((self.resource,), time, latency)
-        client.note_dispatch(latency)
-        record = InferenceRecord(
-            dispatch_time=time,
-            start_time=start,
-            end_time=end,
-            num_frames=len(batch),
-            occupancy=occupancy,
-            energy=energy,
-        )
-        self.kernel.schedule(
-            InferenceDone(time=end, stream=client.name, records=(record,))
-        )
-
-
-@dataclass
-class _PendingDispatch:
-    client: "StreamClient"
-    batch: SparseFrameBatch
-    time: float
-
-
-class SignatureServer:
-    """Serial server for all streams sharing one network signature.
-
-    The server occupies the PEs its cost model's mapping uses.  A dispatch
-    arriving while the server is idle executes immediately; otherwise it
-    waits in a pending queue bounded per stream by that stream's
-    ``inference_queue_depth`` (the oldest pending entry is evicted when the
-    bound is exceeded).  When an inference completes, the oldest pending
-    dispatch of each of up to ``max_merge_streams`` *distinct* streams is
-    concatenated into one batched inference — cross-stream batching amortises
-    kernel-launch and weight-traffic costs exactly like DSFA's within-stream
-    merging, and no single stream can consume more than one slot of the merge
-    budget (``max_merge_streams=1`` disables merging entirely).
-    """
-
-    def __init__(
-        self,
-        kernel: SimulationKernel,
-        cost_model: NetworkCostModel,
-        name: str,
-        max_merge_streams: int = 4,
-    ) -> None:
-        if max_merge_streams < 1:
-            raise ValueError("max_merge_streams must be >= 1")
-        self.kernel = kernel
-        self.cost_model = cost_model
-        self.name = name
-        self.max_merge_streams = max_merge_streams
-        self.pending: List[_PendingDispatch] = []
-        self.inferences = 0
-        self.merged_dispatches = 0
-        kernel.on(InferenceDone, self._on_done, stream=name)
-
-    # ------------------------------------------------------------------
-    def busy_until(self, client: Optional["StreamClient"] = None) -> float:
-        """Time every PE of this server's mapping frees up."""
-        return self.kernel.busy_until(*self.cost_model.pes_used)
-
-    def dispatch(self, client: "StreamClient", batch: SparseFrameBatch, time: float) -> None:
-        """Execute immediately when idle, else enqueue (bounded per stream)."""
-        busy = self.busy_until(client)
-        if not self.pending and busy <= time:
-            self._execute([_PendingDispatch(client, batch, time)], time)
-            return
-        mine = [p for p in self.pending if p.client is client]
-        if len(mine) >= client.queue_depth:
-            oldest = mine[0]
-            self.pending.remove(oldest)
-            client.report.frames_dropped += len(oldest.batch)
-            self.kernel.schedule(
-                QueueEvict(
-                    time=time,
-                    stream=client.name,
-                    num_frames=len(oldest.batch),
-                    reason="queue-full",
-                )
-            )
-        self.pending.append(_PendingDispatch(client, batch, time))
-        # The PEs may be held by a *different* server (shared devices), whose
-        # completion events never reach this server's stream — schedule an
-        # explicit wake-up at the busy frontier so the queue always drains.
-        self.kernel.schedule(
-            InferenceDone(time=max(busy, time), stream=self.name, records=())
-        )
-
-    # ------------------------------------------------------------------
-    def _execute(self, members: List[_PendingDispatch], ready_time: float) -> None:
-        combined = SparseFrameBatch.concatenate([m.batch for m in members])
-        sparse = self.cost_model.uses_sparse
-        occupancy = combined.mean_density if sparse else 1.0
-        latency, energy = self.cost_model.inference_cost(
-            max(occupancy, 1e-4), max(len(combined), 1)
-        )
-        start, end = self.kernel.acquire(self.cost_model.pes_used, ready_time, latency)
-        self.inferences += 1
-        if len(members) > 1:
-            self.merged_dispatches += len(members)
-        total_frames = max(len(combined), 1)
-        for member in members:
-            share = len(member.batch) / total_frames
-            record = InferenceRecord(
-                dispatch_time=member.time,
-                start_time=start,
-                end_time=end,
-                num_frames=len(member.batch),
-                occupancy=member.batch.mean_density if sparse else 1.0,
-                energy=energy * share,
-            )
-            # Attribute each member its *share* of the batched latency: the
-            # full latency would inflate every member's per-dispatch service
-            # estimate (StreamClient._last_duration) after a cross-stream
-            # merge and distort the backlog drop rule.
-            member.client.note_dispatch(latency * share)
-            self.kernel.schedule(
-                InferenceDone(time=end, stream=member.client.name, records=(record,))
-            )
-        # The server's own completion event drives pending-queue draining.
-        self.kernel.schedule(InferenceDone(time=end, stream=self.name, records=()))
-
-    def _on_done(self, event: InferenceDone) -> None:
-        if not self.pending:
-            return
-        busy = self.busy_until()
-        if busy > event.time:
-            # A server sharing one of our PEs is still running; retry when
-            # the devices free up.
-            self.kernel.schedule(
-                InferenceDone(time=busy, stream=self.name, records=())
-            )
-            return
-        # Merge the oldest pending dispatch of each of the first
-        # ``max_merge_streams`` distinct streams (FIFO over streams).  Taking
-        # ``pending[:max_merge_streams]`` instead would let one stream's
-        # backlog consume the whole cross-stream merge budget.
-        members: List[_PendingDispatch] = []
-        remaining: List[_PendingDispatch] = []
-        taken = set()
-        for entry in self.pending:
-            client_id = id(entry.client)
-            if client_id not in taken and len(taken) < self.max_merge_streams:
-                taken.add(client_id)
-                members.append(entry)
-            else:
-                remaining.append(entry)
-        self.pending = remaining
-        self._execute(members, event.time)
-
-
 class StreamClient:
     """Per-stream protocol driver on the simulation kernel.
 
@@ -352,6 +193,7 @@ class StreamClient:
         kernel: SimulationKernel,
         executor,
         cost_model: NetworkCostModel,
+        keep_records: bool = True,
     ) -> None:
         self.source = source
         self.name = source.name
@@ -360,7 +202,7 @@ class StreamClient:
         self.cost_model = cost_model
         self.config = source.config
         self.queue_depth = source.config.dsfa.inference_queue_depth
-        self.report = PipelineReport()
+        self.report = PipelineReport(keep_records=keep_records)
         self.aggregator = (
             DynamicSparseFrameAggregator(source.config.dsfa)
             if source.config.optimization.uses_dsfa
@@ -399,6 +241,15 @@ class StreamClient:
         """Record the duration of the stream's most recently started inference."""
         self._last_duration = duration
 
+    @property
+    def last_duration(self) -> float:
+        """The stream's most recent per-dispatch service-time estimate.
+
+        Executors stamp this onto enqueued dispatches so the server-side
+        backlog estimate can include queued work without re-deriving costs.
+        """
+        return self._last_duration
+
     # ------------------------------------------------------------------
     def _on_frame(self, event: FrameReady) -> None:
         arrival = event.time
@@ -418,8 +269,11 @@ class StreamClient:
         # Without DSFA every frame is processed individually.  A real
         # deployment bounds its input queue, so when the backlog exceeds
         # ``inference_queue_depth`` inferences the oldest frame is dropped
-        # instead of queued forever.
-        backlog = self.executor.busy_until(self) - arrival
+        # instead of queued forever.  The executor's estimate covers both
+        # the busy frontier and any work already sitting in a pending queue
+        # — ``busy_until`` alone under-drops when many streams contend for
+        # one server.
+        backlog = self.executor.backlog_estimate(self, arrival)
         if backlog > self.queue_depth * max(self._last_duration, 1e-9):
             self.report.frames_dropped += 1
             self.kernel.schedule(
@@ -450,7 +304,7 @@ class StreamClient:
         self.executor.dispatch(self, event.batch, event.time)
 
     def _on_done(self, event: InferenceDone) -> None:
-        self.report.records.extend(event.records)
+        self.report.add_records(event.records)
 
 
 # ----------------------------------------------------------------------
@@ -636,6 +490,7 @@ class MultiStreamReport:
     cache_info: Optional[Dict[str, int]] = None
     remaps: List[RemapRecord] = field(default_factory=list)
     start_time: float = 0.0
+    events_processed: int = 0
 
     @property
     def num_streams(self) -> int:
@@ -688,13 +543,21 @@ class MultiStreamReport:
 
     @property
     def mean_latency(self) -> float:
-        """Mean dispatch-to-completion latency across every inference."""
-        latencies = [
-            r.latency for report in self.reports.values() for r in report.records
-        ]
-        if not latencies:
+        """Mean dispatch-to-completion latency across every inference.
+
+        Computed from the per-stream streaming accumulators, so it works
+        (and costs O(streams), not O(records)) even when the fleet ran with
+        ``retain_records=False``.
+        """
+        count = 0
+        latency_sum = 0.0
+        for report in self.reports.values():
+            stream_count, stream_latency, _, _, _ = report._accumulators()
+            count += stream_count
+            latency_sum += stream_latency
+        if count == 0:
             return 0.0
-        return float(np.mean(latencies))
+        return latency_sum / count
 
     def per_stream_rows(self) -> List[Dict[str, object]]:
         """Table rows (one per stream) for the experiment harnesses."""
@@ -741,6 +604,17 @@ class MultiStreamSimulator:
         re-runs a budgeted NMP search over the networks active at that
         instant and rebinds the affected cost models.  Only streams whose
         optimization level uses NMP participate.
+    retain_records:
+        Keep the full per-inference record list on every stream report
+        (default).  ``False`` keeps only the streaming aggregates — the
+        memory-lean mode for very large fleets; traces still work, but
+        per-record analyses need the default.
+    kernel_factory / server_factory:
+        Alternative :class:`~repro.runtime.sim.SimulationKernel` /
+        :class:`SignatureServer` constructors.  These exist for the
+        pre-refactor reference implementations
+        (:mod:`repro.runtime.legacy`) used by the report-equivalence tests
+        and the kernel-scaling benchmark; production code leaves them unset.
     """
 
     def __init__(
@@ -752,6 +626,9 @@ class MultiStreamSimulator:
         occupancy_resolution: Optional[float] = 1.0 / 64.0,
         max_merge_streams: int = 4,
         remap_policy: Optional[RemapPolicy] = None,
+        retain_records: bool = True,
+        kernel_factory: Optional[Callable[..., SimulationKernel]] = None,
+        server_factory: Optional[Callable[..., SignatureServer]] = None,
     ) -> None:
         if not sources:
             raise ValueError("at least one stream source is required")
@@ -765,6 +642,9 @@ class MultiStreamSimulator:
         )
         self.max_merge_streams = max_merge_streams
         self.remap_policy = remap_policy
+        self.retain_records = retain_records
+        self.kernel_factory = kernel_factory or SimulationKernel
+        self.server_factory = server_factory or SignatureServer
         self.remap_client = (
             AdaptiveMappingClient(platform, remap_policy)
             if remap_policy is not None
@@ -823,24 +703,28 @@ class MultiStreamSimulator:
 
     def run(self, trace: Optional[KernelTrace] = None) -> MultiStreamReport:
         """Simulate all streams to completion and return the traffic report."""
-        kernel = SimulationKernel(trace=trace)
+        kernel = self.kernel_factory(trace=trace)
         cost_models: Dict[tuple, NetworkCostModel] = {}
         servers: Dict[tuple, SignatureServer] = {}
         clients: List[StreamClient] = []
         for source in self.sources:
-            model = NetworkCostModel(
-                source.network,
-                self.platform,
-                config=source.config,
-                mapping=source.mapping,
-                table=self.table,
+            # Resolve the signature first: constructing (and resolving) a
+            # full cost model per source just to discard it when the
+            # signature already had a server wastes fleet start-up time.
+            signature = NetworkCostModel.signature_for(
+                source.network, source.config, source.mapping
             )
-            signature = model.signature()
             if signature not in servers:
-                cost_models[signature] = model
-                servers[signature] = SignatureServer(
+                cost_models[signature] = NetworkCostModel(
+                    source.network,
+                    self.platform,
+                    config=source.config,
+                    mapping=source.mapping,
+                    table=self.table,
+                )
+                servers[signature] = self.server_factory(
                     kernel,
-                    model,
+                    cost_models[signature],
                     name=f"server:{source.network.name}:{len(servers)}",
                     max_merge_streams=self.max_merge_streams,
                 )
@@ -850,6 +734,7 @@ class MultiStreamSimulator:
                     kernel,
                     executor=servers[signature],
                     cost_model=cost_models[signature],
+                    keep_records=self.retain_records,
                 )
             )
         remaps_before = 0
@@ -875,4 +760,5 @@ class MultiStreamSimulator:
             cache_info=self.table.cache_info(),
             remaps=remaps,
             start_time=min(s.start_offset for s in self.sources),
+            events_processed=kernel.events_processed,
         )

@@ -43,13 +43,27 @@ class KernelTrace:
     Pass an instance as the kernel's ``trace`` (or to
     ``EvEdgePipeline.run`` / ``MultiStreamSimulator.run``); after the run it
     holds one :class:`TraceEntry` per processed event.
+
+    Parameters
+    ----------
+    max_events:
+        Bound on retained entries (later events only count
+        ``dropped_entries``).
+    record_details:
+        Format each event's payload summary (the default).  ``False`` skips
+        the per-event string formatting — the expensive part of tracing a
+        large fleet — and stores empty details; timelines, per-stream
+        grouping and event counts still work.
     """
 
-    def __init__(self, max_events: Optional[int] = None) -> None:
+    def __init__(
+        self, max_events: Optional[int] = None, record_details: bool = True
+    ) -> None:
         if max_events is not None and max_events < 1:
             raise ValueError("max_events must be >= 1 or None")
         self.entries: List[TraceEntry] = []
         self.max_events = max_events
+        self.record_details = record_details
         self.dropped_entries = 0
 
     def record(self, event) -> None:
@@ -62,7 +76,7 @@ class KernelTrace:
                 time=event.time,
                 kind=type(event).__name__,
                 stream=event.stream,
-                detail=event.trace_detail(),
+                detail=event.trace_detail() if self.record_details else "",
             )
         )
 

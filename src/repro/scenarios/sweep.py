@@ -62,7 +62,10 @@ PLATFORMS = {
 
 # Bump when simulator semantics change in a way that invalidates cached cell
 # results despite unchanged specs (part of every cell's content hash).
-_CACHE_SALT = "scenario-sweep-v1"
+# v2: occupancy buckets round nonzero values up to the first bucket, the
+# no-DSFA drop rule includes queued service time, and mean aggregates are
+# streaming (sequential) sums.
+_CACHE_SALT = "scenario-sweep-v2"
 
 
 @dataclass(frozen=True)
@@ -199,6 +202,7 @@ def simulate_cell(cell: SweepCell) -> Dict[str, object]:
         "energy_j": report.total_energy,
         "makespan_s": report.makespan,
         "active_window_s": report.active_window,
+        "events_processed": report.events_processed,
         "per_stream": report.per_stream_rows(),
         "from_cache": False,
     }

@@ -98,6 +98,85 @@ class TestKernelOrdering:
         assert kernel.pending_events == 0
 
 
+class TestRoutingTable:
+    """The O(1) routing table must reproduce the linear scan's delivery
+    semantics exactly: registration-order FIFO across per-stream and
+    wildcard handlers, including handlers registered mid-run."""
+
+    def test_interleaved_wildcard_and_stream_registration_order(self):
+        kernel = SimulationKernel()
+        seen = []
+        kernel.on(FrameReady, lambda e: seen.append("wild0"))
+        kernel.on(FrameReady, lambda e: seen.append("a0"), stream="a")
+        kernel.on(FrameReady, lambda e: seen.append("wild1"))
+        kernel.on(FrameReady, lambda e: seen.append("b0"), stream="b")
+        kernel.on(FrameReady, lambda e: seen.append("a1"), stream="a")
+        kernel.schedule(FrameReady(time=0.0, stream="a"))
+        kernel.schedule(FrameReady(time=1.0, stream="b"))
+        kernel.run()
+        # Stream "a": registration order wild0, a0, wild1, a1.
+        # Stream "b": wild0, wild1, b0.
+        assert seen == ["wild0", "a0", "wild1", "a1", "wild0", "wild1", "b0"]
+
+    def test_matches_legacy_scan_delivery_order(self):
+        from repro.runtime.legacy import LegacyScanKernel
+
+        def drive(kernel):
+            seen = []
+            kernel.on(FrameReady, lambda e: seen.append(("w0", e.stream)))
+            kernel.on(FrameReady, lambda e: seen.append(("s-a", e.stream)), stream="a")
+            kernel.on(DispatchBatch, lambda e: seen.append(("d", e.stream)))
+            kernel.on(FrameReady, lambda e: seen.append(("w1", e.stream)))
+            kernel.on(FrameReady, lambda e: seen.append(("s-b", e.stream)), stream="b")
+            for t, s in [(0.0, "a"), (0.0, "b"), (1.0, "c"), (1.0, "a")]:
+                kernel.schedule(FrameReady(time=t, stream=s))
+            kernel.schedule(DispatchBatch(time=0.5, stream="a"))
+            kernel.run()
+            return seen
+
+        assert drive(SimulationKernel()) == drive(LegacyScanKernel())
+
+    def test_handler_registered_mid_run_sees_later_events(self):
+        kernel = SimulationKernel()
+        seen = []
+
+        def register_late(event):
+            seen.append("first")
+            kernel.on(FrameReady, lambda e: seen.append("late"), stream="s")
+
+        kernel.on(FrameReady, register_late, stream="s")
+        kernel.schedule(FrameReady(time=0.0, stream="s"))
+        kernel.schedule(FrameReady(time=1.0, stream="s"))
+        kernel.run()
+        # The late handler appends to the already-built route: it is invoked
+        # for the event that registered it (same semantics as the old list
+        # scan, which saw appends during iteration) and for every later one.
+        assert seen == ["first", "late", "first", "late", "late"]
+
+    def test_wildcard_registered_after_route_built_is_patched_in(self):
+        kernel = SimulationKernel()
+        seen = []
+        kernel.on(FrameReady, lambda e: seen.append("stream"), stream="s")
+        kernel.schedule(FrameReady(time=0.0, stream="s"))
+        kernel.run()  # builds the ("s", FrameReady) route
+        kernel.on(FrameReady, lambda e: seen.append("wild"))
+        kernel.schedule(FrameReady(time=2.0, stream="s"))
+        kernel.schedule(FrameReady(time=2.0, stream="t"))  # fresh route
+        kernel.run()
+        assert seen == ["stream", "stream", "wild", "wild"]
+
+    def test_stream_handler_registered_after_route_built_is_patched_in(self):
+        kernel = SimulationKernel()
+        seen = []
+        kernel.on(FrameReady, lambda e: seen.append("wild"))
+        kernel.schedule(FrameReady(time=0.0, stream="s"))
+        kernel.run()
+        kernel.on(FrameReady, lambda e: seen.append("stream"), stream="s")
+        kernel.schedule(FrameReady(time=1.0, stream="s"))
+        kernel.run()
+        assert seen == ["wild", "wild", "stream"]
+
+
 class TestKernelResources:
     def test_acquire_queues_behind_busy_resources(self):
         kernel = SimulationKernel()
@@ -137,6 +216,15 @@ class TestKernelTrace:
         kernel.run()
         assert len(trace) == 1
         assert trace.dropped_entries == 1
+
+    def test_detail_free_mode_keeps_timeline(self):
+        trace = KernelTrace(record_details=False)
+        kernel = SimulationKernel(trace=trace)
+        kernel.schedule(QueueEvict(time=0.5, stream="s", num_frames=3, reason="stale"))
+        kernel.run()
+        assert trace.counts() == {"QueueEvict": 1}
+        assert trace.entries[0].detail == ""
+        assert trace.entries[0].stream == "s"
 
 
 class TestLayerCostTable:
@@ -193,6 +281,28 @@ class TestLayerCostTable:
         assert table.bucket(0.3) == 0.25
         exact = LayerCostTable()
         assert exact.bucket(0.3) == 0.3
+
+    def test_bucket_rounds_small_nonzero_occupancy_up(self, platform, network):
+        # Regression: density 1e-4 with the default 1/64 resolution used to
+        # round to bucket 0.0, zeroing the dense memory-traffic term and
+        # clamping sparse costs to the min_sparse_fraction floor regardless
+        # of the actual input.  Nonzero occupancies round *up* to the first
+        # bucket; exact zero stays zero.
+        table = LayerCostTable(occupancy_resolution=1.0 / 64.0)
+        assert table.bucket(1e-4) == 1.0 / 64.0
+        assert table.bucket(1e-9) == 1.0 / 64.0
+        assert table.bucket(0.0) == 0.0
+        gpu = platform.gpu()
+        spec = next(s for s in network.layers() if s.kind.is_compute)
+        tiny = table.layer_cost(spec, gpu, Precision.FP16, sparse=True, occupancy=1e-4)
+        first_bucket = table.layer_cost(
+            spec, gpu, Precision.FP16, sparse=True, occupancy=1.0 / 64.0
+        )
+        zero = table.layer_cost(spec, gpu, Precision.FP16, sparse=True, occupancy=0.0)
+        assert tiny == first_bucket
+        # The zero bucket moves no activation bytes; a tiny-but-nonzero
+        # occupancy must not be costed like it.
+        assert tiny != zero
 
     def test_invalid_resolution_rejected(self):
         with pytest.raises(ValueError):

@@ -380,6 +380,72 @@ class TestSignatureServerMerging:
         assert len(windows) == len(set(windows)) == 3
 
 
+class TestBacklogEstimate:
+    """The no-DSFA drop rule must see queued work, not just the busy frontier."""
+
+    def test_serial_executor_matches_seed_rule(self, platform, sequence, network):
+        # SerialExecutor has no pending queue: the estimate is exactly the
+        # seed pipeline's ``busy_until - arrival`` (keeping EvEdgePipeline
+        # record-for-record identical to the seed).
+        from repro.runtime import SerialExecutor
+
+        kernel = SimulationKernel()
+        executor = SerialExecutor(kernel)
+        kernel.acquire(("platform",), 0.0, 2.0)
+        assert executor.backlog_estimate(None, 0.5) == kernel.busy_until("platform") - 0.5
+        assert executor.backlog_estimate(None, 3.0) == kernel.busy_until("platform") - 3.0
+
+    def test_server_estimate_includes_queued_service_time(
+        self, platform, sequence, network
+    ):
+        kernel, server, clients, frames = _manual_server(
+            platform, sequence, network, max_merge_streams=1, num_clients=3
+        )
+        a, b, c = clients
+        server.dispatch(a, SparseFrameBatch([frames[0]]), 0.0)
+        busy = server.busy_until()
+        assert busy > 0
+        assert server.queued_service_estimate() == 0.0
+        # Warm the senders' service estimates, then enqueue while busy.
+        b.note_dispatch(0.5)
+        c.note_dispatch(0.25)
+        server.dispatch(b, SparseFrameBatch([frames[1]]), 0.0)
+        assert server.queued_service_estimate() == 0.5
+        server.dispatch(c, SparseFrameBatch([frames[2]]), 0.0)
+        assert server.queued_service_estimate() == 0.5 + 0.25
+        # The estimate a prospective sender sees covers busy lead + queue.
+        assert server.backlog_estimate(b, 0.0) == busy + 0.75
+        assert server.pending_count == 2
+        kernel.run()
+        assert server.pending_count == 0
+        assert server.queued_service_estimate() == 0.0
+
+    def test_eviction_releases_queued_service_estimate(
+        self, platform, sequence, network
+    ):
+        kernel = SimulationKernel()
+        config = EvEdgeConfig(
+            num_bins=5,
+            optimization=OptimizationLevel.E2SF,
+            dsfa=DSFAConfig(inference_queue_depth=1),
+        )
+        model = NetworkCostModel(network, platform, config=config)
+        server = SignatureServer(kernel, model, name="server:test", max_merge_streams=1)
+        source = StreamSource("c0", sequence, network, config)
+        client = StreamClient(source, kernel, server, model)
+        frames = [f for _, f in source.generate_frames()]
+        server.dispatch(client, SparseFrameBatch([frames[0]]), 0.0)  # executes
+        client.note_dispatch(0.5)
+        server.dispatch(client, SparseFrameBatch([frames[1]]), 0.0)  # pending
+        client.note_dispatch(0.3)
+        # Depth 1: the pending entry (estimate 0.5) is evicted, replaced by
+        # the new one (estimate 0.3).
+        server.dispatch(client, SparseFrameBatch([frames[2]]), 0.0)
+        assert server.pending_count == 1
+        assert server.queued_service_estimate() == pytest.approx(0.3)
+        assert client.report.frames_dropped == 1
+
+
 class TestDropAccountingConsistency:
     @staticmethod
     def _evicted_frames_by_stream(trace):
@@ -412,7 +478,7 @@ class TestDropAccountingConsistency:
             StreamSource(f"raw{i}", sequence, heavy, no_dsfa) for i in range(4)
         ] + [
             StreamSource(f"agg{i}", sequence, heavy, with_dsfa, start_offset=0.001 * i)
-            for i in range(4)
+            for i in range(8)
         ]
         trace = KernelTrace()
         report = MultiStreamSimulator(platform, sources).run(trace=trace)
