@@ -54,6 +54,16 @@ class MergeBucket:
     capacity: int
     frames: List[SparseFrame] = field(default_factory=list)
     status: BucketStatus = BucketStatus.AVAILABLE
+    # Incrementally maintained cAdd merge of ``frames``, used for the
+    # density queries of the placement test.  Merging is associative on the
+    # *support* (the active-site union), so the incremental merge has
+    # bit-identical density to re-merging the whole list — but each
+    # ``accepts`` probe stops paying an O(bucket) re-merge.  ``merge()``
+    # still combines the full list so dispatched values keep their exact
+    # summation order.
+    _merged: Optional[SparseFrame] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -76,12 +86,18 @@ class MergeBucket:
             return float("inf")
         return min(f.t_start for f in self.frames)
 
+    def _merged_support(self) -> SparseFrame:
+        """The (cached) cAdd merge of the bucket, for density queries."""
+        if self._merged is None:
+            self._merged = SparseFrame.add(self.frames)
+        return self._merged
+
     @property
     def merged_density(self) -> float:
         """Spatial density of the bucket's frames merged with cAdd (``MBmerged``)."""
         if not self.frames:
             return 0.0
-        return SparseFrame.add(self.frames).density
+        return self._merged_support().density
 
     def accepts(self, frame: SparseFrame, max_delay: float, max_density_change: float) -> bool:
         """Greedy placement test: capacity, time-delay and density conditions."""
@@ -91,8 +107,7 @@ class MergeBucket:
             return True
         if frame.t_start - self.earliest_time > max_delay:
             return False
-        merged = SparseFrame.add(self.frames)
-        if merged.density_change(frame) > max_density_change:
+        if self._merged_support().density_change(frame) > max_density_change:
             return False
         return True
 
@@ -101,6 +116,8 @@ class MergeBucket:
         if self.is_full:
             raise RuntimeError("cannot add a frame to a FULL merge bucket")
         self.frames.append(frame)
+        if self._merged is not None:
+            self._merged = SparseFrame.add([self._merged, frame])
         if self.occupancy >= self.capacity:
             self.status = BucketStatus.FULL
 

@@ -150,9 +150,20 @@ class Event2SparseFrameConverter:
             for i in range(len(timestamps) - 1)
         ]
 
+    def input_occupancies(self, frames: Sequence[SparseFrame]) -> Tuple[float, ...]:
+        """Per-bin input occupancies (spatial densities) of converted frames.
+
+        The same quantity the runtime reads per dispatched batch via
+        :meth:`repro.frames.sparse.SparseFrameBatch.frame_densities` to seed
+        per-layer occupancy profiles; exposed here for analyses that work on
+        raw converter output (e.g. the Figure 3 sparsity sweeps) before any
+        batch exists.
+        """
+        return tuple(f.density for f in frames)
+
     def mean_occupancy(self, frames: Sequence[SparseFrame]) -> float:
         """Average fraction of active pixels across sparse frames (paper Fig. 3)."""
-        frames = list(frames)
-        if not frames:
+        occupancies = self.input_occupancies(frames)
+        if not occupancies:
             return 0.0
-        return float(np.mean([f.density for f in frames]))
+        return float(np.mean(occupancies))

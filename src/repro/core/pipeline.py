@@ -59,7 +59,12 @@ class EvEdgePipeline:
         mapping: Optional[MappingCandidate] = None,
         latency_model: Optional[LatencyModel] = None,
         energy_model: Optional[EnergyModel] = None,
+        cost_mode: str = "flat",
     ) -> None:
+        """``cost_mode`` selects the cost-stack semantics
+        (:data:`~repro.runtime.sim.COST_MODES`): ``"flat"`` keeps the
+        seed-identical scalar path; ``"profile"`` propagates each input's
+        occupancy through the layers (per-layer occupancy profiles)."""
         self.network = network
         self.platform = platform
         self.config = config or EvEdgeConfig()
@@ -72,6 +77,7 @@ class EvEdgePipeline:
             config=self.config,
             mapping=mapping,
             table=LayerCostTable(self.latency_model, self.energy_model),
+            cost_mode=cost_mode,
         )
 
     # ------------------------------------------------------------------

@@ -364,6 +364,16 @@ class SparseFrameBatch:
             return float(self.frames[0].density)
         return float(np.mean([f.density for f in self.frames]))
 
+    def frame_densities(self) -> Tuple[float, ...]:
+        """Per-frame spatial densities, in batch order.
+
+        These seed the per-member occupancy profiles of the layered cost
+        stack: a merged dispatch's per-layer occupancy is the mean of its
+        members' propagated profiles, so the combination needs the
+        individual densities, not just :attr:`mean_density`.
+        """
+        return tuple(f.density for f in self.frames)
+
     def to_dense(self) -> np.ndarray:
         """Decode into a dense ``(B, 2, H, W)`` tensor."""
         if not self.frames:

@@ -74,6 +74,40 @@ class EnergyModel:
         memory_energy = data_bytes * _DRAM_ENERGY_PER_BYTE
         return EnergyEstimate(compute_energy, memory_energy)
 
+    def network_energy(
+        self,
+        layers,
+        pe: ProcessingElement,
+        precision: Precision,
+        sparse: bool = False,
+        batch: int = 1,
+        occupancies=None,
+    ) -> float:
+        """Total energy of a list of layers run serially on one device.
+
+        Mirrors :meth:`LatencyModel.network_latency`: ``occupancies``
+        optionally carries one non-zero activation fraction per compute
+        layer (an occupancy profile); ``None`` entries fall back to the
+        layer's static modelled sparsity.
+        """
+        compute = [l for l in layers if l.kind.is_compute]
+        if occupancies is None:
+            occupancies = [None] * len(compute)
+        occupancies = list(occupancies)
+        if len(occupancies) != len(compute):
+            raise ValueError(
+                "occupancies must carry one entry per compute layer "
+                f"({len(occupancies)} != {len(compute)})"
+            )
+        return float(
+            sum(
+                self.layer_energy(
+                    l, pe, precision, sparse=sparse, occupancy=occ, batch=batch
+                ).total
+                for l, occ in zip(compute, occupancies)
+            )
+        )
+
     def transfer_energy(self, num_bytes: int) -> float:
         """Energy of moving activations between PEs through unified memory."""
         if num_bytes <= 0:

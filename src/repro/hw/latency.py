@@ -151,12 +151,29 @@ class LatencyModel:
         precision: Precision,
         sparse: bool = False,
         batch: int = 1,
+        occupancies=None,
     ) -> float:
-        """Serial execution time of a list of layers on one device."""
+        """Serial execution time of a list of layers on one device.
+
+        ``occupancies`` optionally carries one non-zero activation fraction
+        per *compute* layer (an occupancy profile, e.g. from
+        :meth:`repro.nn.graph.LayerGraph.occupancy_profile`); entries of
+        ``None`` fall back to the layer's static ``activation_sparsity``.
+        """
+        compute = [l for l in layers if l.kind.is_compute]
+        if occupancies is None:
+            occupancies = [None] * len(compute)
+        occupancies = list(occupancies)
+        if len(occupancies) != len(compute):
+            raise ValueError(
+                "occupancies must carry one entry per compute layer "
+                f"({len(occupancies)} != {len(compute)})"
+            )
         return float(
             sum(
-                self.layer_latency(l, pe, precision, sparse=sparse, batch=batch).total
-                for l in layers
-                if l.kind.is_compute
+                self.layer_latency(
+                    l, pe, precision, sparse=sparse, occupancy=occ, batch=batch
+                ).total
+                for l, occ in zip(compute, occupancies)
             )
         )

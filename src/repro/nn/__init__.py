@@ -10,6 +10,7 @@ from .quantization import (
     quantization_error,
     quantize,
 )
+from .occupancy import OccupancyProfile, layer_output_occupancy, propagate_occupancy
 from .snn import LIFParameters, LIFState, lif_run, lif_step, spike_rate
 from .sparse_conv import (
     dense_conv2d,
@@ -33,6 +34,9 @@ __all__ = [
     "LayerGraph",
     "MultiTaskGraph",
     "TaskSpec",
+    "OccupancyProfile",
+    "layer_output_occupancy",
+    "propagate_occupancy",
     "Precision",
     "quantize",
     "dequantize",

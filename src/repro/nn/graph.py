@@ -160,6 +160,20 @@ class LayerGraph:
         """Total weight count."""
         return sum(l.num_parameters for l in self.layers())
 
+    def occupancy_profile(self, input_density: float) -> Tuple[float, ...]:
+        """Per-layer input occupancies for one input density.
+
+        Propagates the measured input density through the compute layers in
+        topological order using the support-dilation / activation-
+        sparsification rules of :mod:`repro.nn.occupancy` — the serial
+        composition the runtime cost models walk.  Entries are raw
+        (unquantized); the layered cost stack buckets them per layer.
+        """
+        from .occupancy import propagate_occupancy
+
+        specs = [spec for spec in self.layers() if spec.kind.is_compute]
+        return propagate_occupancy(specs, input_density)
+
     def critical_path_macs(self) -> int:
         """MACs along the longest dependency chain (lower bound on serial work)."""
         best: Dict[str, int] = {}

@@ -80,10 +80,10 @@ class SerialExecutor:
 
     def dispatch(self, client, batch: SparseFrameBatch, time: float) -> None:
         """Execute ``batch`` for ``client``, queuing behind earlier work."""
-        occupancy = batch.mean_density if client.cost_model.uses_sparse else 1.0
-        latency, energy = client.cost_model.inference_cost(
-            max(occupancy, 1e-4), max(len(batch), 1)
-        )
+        cost_model = client.cost_model
+        occupancy = batch.mean_density if cost_model.uses_sparse else 1.0
+        profile = cost_model.batch_profile(batch, occupancy)
+        latency, energy = cost_model.profile_cost(profile, max(len(batch), 1))
         start, end = self.kernel.acquire((self.resource,), time, latency)
         client.note_dispatch(latency)
         record = InferenceRecord(
@@ -279,9 +279,12 @@ class SignatureServer:
         combined = SparseFrameBatch.concatenate([m.batch for m in members])
         sparse = self.cost_model.uses_sparse
         occupancy = combined.mean_density if sparse else 1.0
-        latency, energy = self.cost_model.inference_cost(
-            max(occupancy, 1e-4), max(len(combined), 1)
-        )
+        # The dispatch path hands the cost stack a per-layer occupancy
+        # profile, not a scalar: under ``cost_mode="profile"`` the merged
+        # batch's profile is the entry-wise combination of its members'
+        # propagated profiles (flat mode reduces to the scalar path).
+        profile = self.cost_model.batch_profile(combined, occupancy)
+        latency, energy = self.cost_model.profile_cost(profile, max(len(combined), 1))
         start, end = self.kernel.acquire(self.cost_model.pes_used, ready_time, latency)
         self.inferences += 1
         if len(members) > 1:

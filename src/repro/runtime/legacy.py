@@ -15,6 +15,18 @@ as oracles so that claim stays machine-checked:
   O(queue) scans for enqueue bounding and distinct-stream merge selection,
   plus one scheduled wake-up per enqueued dispatch (the event storm the
   refactor coalesces).
+* :class:`ScalarCostModel` — the PR-4 *scalar-keyed* cost stack.  In
+  ``cost_mode="flat"`` it is the pre-profile path itself (measured input
+  occupancy on the first layer, static modelled sparsity deeper) and must
+  produce bit-identical ``MultiStreamReport`` aggregates to the layered
+  stack running a uniform (flat) profile — the equivalence mode of the
+  per-layer occupancy refactor.  In ``cost_mode="profile"`` it applies the
+  *same* propagated semantics but keeps the old caching architecture:
+  per-layer occupancies derive from the single quantized input bucket and
+  are keyed **raw** (no per-layer bucketing), so every distinct input
+  bucket mints its own copy of every layer cell — the memo-thrashing
+  behaviour ``benchmarks/bench_cost_model.py`` quantifies against the
+  layered stack.
 
 Both implement the *current* accounting semantics (per-member latency
 shares, the queued-service backlog estimate) on the *old* data structures —
@@ -35,10 +47,17 @@ import heapq
 import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..nn.occupancy import OccupancyProfile
 from .executor import SignatureServer, _PendingDispatch
-from .sim import InferenceDone, QueueEvict, SimEvent, SimulationKernel
+from .sim import (
+    InferenceDone,
+    NetworkCostModel,
+    QueueEvict,
+    SimEvent,
+    SimulationKernel,
+)
 
-__all__ = ["LegacyScanKernel", "LegacyListServer"]
+__all__ = ["LegacyScanKernel", "LegacyListServer", "ScalarCostModel"]
 
 
 class LegacyScanKernel(SimulationKernel):
@@ -146,3 +165,52 @@ class LegacyListServer(SignatureServer):
         for member in members:
             self._pending_service -= member.service_estimate
         self._execute(members, event.time)
+
+
+class ScalarCostModel(NetworkCostModel):
+    """The PR-4 scalar-keyed cost stack, kept alive as an oracle.
+
+    Two roles:
+
+    * **Equivalence oracle** (``cost_mode="flat"``, the default) — identical
+      semantics to the layered stack running a uniform (flat) profile: the
+      measured input occupancy drives the first layer and deeper layers use
+      their static modelled sparsity, with the whole-network memo keyed on
+      the single input bucket.  The report-equivalence tests assert
+      bit-identical ``MultiStreamReport`` aggregates between this model and
+      the default stack on seeded contended fleets.
+    * **Thrash baseline** (``cost_mode="profile"``) — the propagated
+      per-layer semantics implemented on the scalar-keyed architecture:
+      profiles derive from the quantized input bucket but their entries are
+      kept (and keyed) *raw*, with no per-layer bucketing.  Deep-layer
+      occupancies of different input buckets are then distinct floats even
+      when they have converged to well under a bucket width apart, so every
+      input bucket mints its own copy of every layer cell.
+      ``benchmarks/bench_cost_model.py`` measures the cache hit-rate gap
+      between this stack and the layered one on a mixed-density DSFA fleet.
+
+    Like the other legacy implementations this is deliberately
+    unoptimized verification code — do not use it in production clients.
+    """
+
+    def _build_profile(self, occ_key):
+        if self.cost_mode != "profile" or occ_key is None:
+            return super()._build_profile(occ_key)
+        if len(self._assignments) <= 1:
+            return super()._build_profile(occ_key)
+        specs = [spec for spec, _, _ in self._assignments]
+        # Raw propagated entries: no per-layer bucketing.
+        return OccupancyProfile.propagate(specs, occ_key)
+
+    def _bucket_profile(self, profile):
+        # Merge-time combinations stay raw too: the scalar-keyed stack has
+        # no per-layer quantization anywhere, including merged dispatches.
+        if self.cost_mode == "profile":
+            return profile
+        return super()._bucket_profile(profile)
+
+    @property
+    def _quantize_layers(self) -> bool:
+        # Flat mode must key layer cells exactly as PR-4 did (bucketed);
+        # profile mode keys the raw propagated occupancies.
+        return self.cost_mode != "profile"

@@ -23,11 +23,19 @@ on:
   handlers for every event.  The kernel also owns per-resource busy
   tracking (``busy_until`` / ``acquire``) so clients share one notion of
   device occupancy.
-* :class:`LayerCostTable` — a memo table for per-layer latency/energy keyed
-  on ``(layer, pe, precision, sparse, occupancy-bucket, batch)``, and
-  :class:`NetworkCostModel`, which resolves a network's layer→(PE, precision)
-  assignment once and memoizes whole-network inference costs so the hot path
-  stops re-walking the layer graph for every inference.
+* **Layered cost stack** — :class:`LayerCostTable` holds per-layer cost
+  cells keyed on ``(layer, pe, precision, sparse, layer-bucket, batch)``;
+  :class:`NetworkCostModel` resolves a network's layer→(PE, precision)
+  assignment once and composes the cells into memoized whole-network costs.
+  Costs are driven by an :class:`~repro.nn.occupancy.OccupancyProfile` —
+  one occupancy per layer.  In ``cost_mode="flat"`` (the default) the
+  profile carries the measured input occupancy in its first slot and defers
+  to each deeper layer's static modelled sparsity, which is bit-identical
+  to the pre-profile scalar path.  In ``cost_mode="profile"`` the input
+  density is *propagated* layer by layer (support dilation + activation
+  sparsification) and bucketed per layer **after** propagation, so
+  mixed-density traffic converges onto shared deep-layer cache cells
+  instead of thrashing the memo per input bucket.
 
 Single-stream clients (``EvEdgePipeline.run``) and the multi-stream traffic
 simulator (:mod:`repro.runtime.streams`) are both thin protocol drivers on
@@ -49,6 +57,7 @@ from ..hw.latency import LatencyModel
 from ..hw.pe import Platform, ProcessingElement
 from ..nn.graph import LayerGraph
 from ..nn.layers import LayerSpec
+from ..nn.occupancy import OccupancyProfile
 from ..nn.quantization import Precision
 
 __all__ = [
@@ -63,6 +72,8 @@ __all__ = [
     "LayerCost",
     "LayerCostTable",
     "NetworkCostModel",
+    "OccupancyProfile",
+    "COST_MODES",
     "InferenceRecord",
     "PipelineReport",
 ]
@@ -548,9 +559,22 @@ class LayerCostTable:
         sparse: bool = False,
         occupancy: Optional[float] = None,
         batch: int = 1,
+        quantize: bool = True,
     ) -> LayerCost:
-        """Memoized ``(latency, energy)`` of one layer execution."""
-        occ = self.bucket(occupancy)
+        """Memoized ``(latency, energy)`` of one layer execution.
+
+        With ``quantize=False`` the occupancy is used (and keyed) exactly as
+        given instead of being snapped to its bucket.  The scalar-keyed
+        oracle in :mod:`repro.runtime.legacy` uses this to model the
+        pre-profile stack, whose cells had no per-layer quantization —
+        production callers leave it enabled.
+        """
+        if quantize:
+            occ = self.bucket(occupancy)
+        elif occupancy is None:
+            occ = None
+        else:
+            occ = min(max(float(occupancy), 0.0), 1.0)
         key = (layer, pe.name, precision, sparse, occ, batch)
         cached = self._cache.get(key)
         if cached is not None:
@@ -567,9 +591,22 @@ class LayerCostTable:
         self._cache[key] = cost
         return cost
 
-    def cache_info(self) -> Dict[str, int]:
-        """Hit/miss counters and current table size."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._cache)}
+    def cache_info(self) -> Dict[str, float]:
+        """Hit/miss counters, hit-rate and current table size."""
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._cache),
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+
+# Supported cost-stack semantics: "flat" reproduces the pre-profile scalar
+# path bit for bit (measured occupancy on the first layer, static modelled
+# sparsity deeper); "profile" propagates the input density layer by layer and
+# buckets it per layer after propagation.
+COST_MODES = ("flat", "profile")
 
 
 class NetworkCostModel:
@@ -578,9 +615,26 @@ class NetworkCostModel:
     The layer→(PE, precision) assignment is resolved once at construction
     (the same rules the seed pipeline applied per call: NMP mapping when
     enabled, GPU + baseline precision otherwise, GPU fallback for layers the
-    assigned device cannot run).  Inference costs are memoized on
-    ``(occupancy-bucket, batch)`` so the layer graph is walked once per
-    distinct operating point instead of once per inference.
+    assigned device cannot run).
+
+    The model is a *layered cost stack*: every inference is costed from an
+    :class:`~repro.nn.occupancy.OccupancyProfile` (one occupancy per
+    resolved layer) whose per-layer entries index the shared
+    :class:`LayerCostTable` cells; the composed whole-network result is
+    memoized on ``(profile, batch)``.  ``cost_mode`` selects how profiles
+    are built:
+
+    * ``"flat"`` (default) — the measured input occupancy drives the first
+      layer, deeper layers use their static modelled sparsity.  Semantics
+      (and results) are bit-identical to the pre-profile scalar path kept
+      as :class:`repro.runtime.legacy.ScalarCostModel`.
+    * ``"profile"`` — the input density is propagated through the layers
+      (support dilation + activation sparsification, see
+      :mod:`repro.nn.occupancy`) and bucketed **per layer after
+      propagation**.  Mixed-density traffic converges onto the same deep
+      buckets within a few layers, so DSFA merges and heterogeneous
+      streams share every deep-layer cache cell instead of thrashing the
+      memo per input bucket.
     """
 
     def __init__(
@@ -590,14 +644,23 @@ class NetworkCostModel:
         config: Optional[EvEdgeConfig] = None,
         mapping: Optional[MappingCandidate] = None,
         table: Optional[LayerCostTable] = None,
+        cost_mode: str = "flat",
     ) -> None:
+        if cost_mode not in COST_MODES:
+            raise ValueError(
+                f"unknown cost_mode {cost_mode!r}; expected one of {COST_MODES}"
+            )
         self.network = network
         self.platform = platform
         self.config = config or EvEdgeConfig()
         self.mapping = mapping
         self.table = table or LayerCostTable()
+        self.cost_mode = cost_mode
         self._specs = [spec for spec in network.layers() if spec.kind.is_compute]
         self._cache: Dict[tuple, Tuple[float, float]] = {}
+        # Input bucket -> built profile.  Profiles depend only on the layer
+        # structure (never on the mapping), so rebind() leaves this intact.
+        self._profiles: Dict[Optional[float], OccupancyProfile] = {}
         self._resolve()
 
     def _resolve(self) -> None:
@@ -694,31 +757,109 @@ class NetworkCostModel:
         return NetworkCostModel.signature_for(self.network, self.config, self.mapping)
 
     # ------------------------------------------------------------------
-    def inference_cost(self, occupancy: float, batch: int) -> Tuple[float, float]:
-        """Memoized latency and energy of one network invocation.
+    # occupancy profiles
+    # ------------------------------------------------------------------
+    def _build_profile(self, occ_key: Optional[float]) -> OccupancyProfile:
+        """Profile for one *bucketed* input occupancy (subclass hook)."""
+        num_layers = len(self._assignments)
+        if self.cost_mode == "flat" or occ_key is None or num_layers <= 1:
+            return OccupancyProfile.flat(occ_key, num_layers)
+        specs = [spec for spec, _, _ in self._assignments]
+        raw = OccupancyProfile.propagate(specs, occ_key)
+        return raw.bucketed(self.table.bucket)
 
-        The measured occupancy of the merged input drives the first layer;
-        deeper layers use their modelled activation sparsity.  When producer
-        and consumer layers sit on different devices a unified-memory
-        transfer is added (execution is serial, so transfers are summed).
-        """
+    def occupancy_profile(self, occupancy: Optional[float]) -> OccupancyProfile:
+        """The (cached) per-layer profile for one measured input occupancy."""
         occ_key = self.table.bucket(occupancy)
-        key = (occ_key, batch)
+        profile = self._profiles.get(occ_key)
+        if profile is None:
+            profile = self._build_profile(occ_key)
+            self._profiles[occ_key] = profile
+        return profile
+
+    def batch_profile(
+        self,
+        batch: SparseFrameBatch,
+        occupancy: Optional[float] = None,
+    ) -> OccupancyProfile:
+        """Input profile of one (possibly merged) dispatched batch.
+
+        ``occupancy`` is the caller's already-computed mean input density
+        (the scalar stamped on the inference record); when omitted it is
+        derived from the batch.  In ``"flat"`` mode the batch is costed at
+        that single density — exactly the scalar path.  In ``"profile"``
+        mode each frame of the batch is propagated independently and the
+        member profiles are combined entry-wise (merge-time profile
+        combination): a batched inference runs every member through the
+        same layers, so the batch's per-layer occupancy is the mean of the
+        members' per-layer occupancies — not the propagation of their mean,
+        which differs because propagation is nonlinear.
+        """
+        if occupancy is None:
+            occupancy = batch.mean_density if self.uses_sparse else 1.0
+        occupancy = max(float(occupancy), 1e-4)
+        if (
+            self.cost_mode == "flat"
+            or not self.uses_sparse
+            or len(batch) <= 1
+        ):
+            return self.occupancy_profile(occupancy)
+        members = [
+            self.occupancy_profile(max(density, 1e-4))
+            for density in batch.frame_densities()
+        ]
+        return self._bucket_profile(OccupancyProfile.combine(members))
+
+    def _bucket_profile(self, profile: OccupancyProfile) -> OccupancyProfile:
+        """Per-layer quantization of a freshly combined profile.
+
+        Subclass hook: the layered stack snaps every entry to its table
+        bucket; the scalar-keyed oracle keeps combined entries raw, matching
+        its no-per-layer-bucketing architecture.
+        """
+        return profile.bucketed(self.table.bucket)
+
+    # ------------------------------------------------------------------
+    def profile_cost(
+        self, profile: OccupancyProfile, batch: int
+    ) -> Tuple[float, float]:
+        """Memoized latency and energy of one invocation at ``profile``.
+
+        Composes the per-layer cost cells of the shared
+        :class:`LayerCostTable` into a network total: each resolved layer is
+        costed at its profile entry (``None`` = static modelled sparsity),
+        and a unified-memory transfer is added whenever producer and
+        consumer sit on different devices (execution is serial, so
+        transfers are summed).  The composed result is memoized on
+        ``(profile, batch)`` — profiles that converge onto the same
+        per-layer buckets share one entry.
+        """
+        key = (profile.key(), batch)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        if len(profile) != len(self._assignments):
+            raise ValueError(
+                "profile length does not match the resolved layer count "
+                f"({len(profile)} != {len(self._assignments)})"
+            )
         sparse = self.uses_sparse
+        quantize = self._quantize_layers
         total_latency = 0.0
         total_energy = 0.0
         previous_pe = None
         previous_spec = None
         previous_precision = None
-        first = True
-        for spec, pe, precision in self._assignments:
-            occ = occ_key if first else None
+        for (spec, pe, precision), occ in zip(self._assignments, profile):
             layer_sparse = sparse and pe.supports_sparse
             cost = self.table.layer_cost(
-                spec, pe, precision, sparse=layer_sparse, occupancy=occ, batch=batch
+                spec,
+                pe,
+                precision,
+                sparse=layer_sparse,
+                occupancy=occ,
+                batch=batch,
+                quantize=quantize,
             )
             total_latency += cost.latency
             total_energy += cost.energy
@@ -729,7 +870,20 @@ class NetworkCostModel:
                 )
                 total_energy += self.table.energy_model.transfer_energy(transfer_bytes)
             previous_pe, previous_spec, previous_precision = pe, spec, precision
-            first = False
         result = (total_latency, total_energy)
         self._cache[key] = result
         return result
+
+    # Whether profile entries are snapped to table buckets when costing a
+    # layer.  The layered stack always quantizes (entries are bucket
+    # representatives already, so this mirrors the pre-profile double
+    # bucketing bit for bit); the scalar-keyed oracle overrides it.
+    _quantize_layers = True
+
+    def inference_cost(self, occupancy: float, batch: int) -> Tuple[float, float]:
+        """Memoized latency and energy of one network invocation.
+
+        Convenience wrapper: builds the occupancy profile for the measured
+        input density and composes it through :meth:`profile_cost`.
+        """
+        return self.profile_cost(self.occupancy_profile(occupancy), batch)

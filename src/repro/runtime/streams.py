@@ -66,6 +66,7 @@ from ..nn.graph import LayerGraph, MultiTaskGraph, TaskSpec
 from ..nn.quantization import Precision
 from .executor import SerialExecutor, SignatureServer
 from .sim import (
+    COST_MODES,
     DispatchBatch,
     FrameReady,
     InferenceDone,
@@ -487,10 +488,11 @@ class MultiStreamReport:
     reports: Dict[str, PipelineReport]
     end_time: float
     trace: Optional[KernelTrace] = None
-    cache_info: Optional[Dict[str, int]] = None
+    cache_info: Optional[Dict[str, float]] = None
     remaps: List[RemapRecord] = field(default_factory=list)
     start_time: float = 0.0
     events_processed: int = 0
+    cost_mode: str = "flat"
 
     @property
     def num_streams(self) -> int:
@@ -609,12 +611,23 @@ class MultiStreamSimulator:
         (default).  ``False`` keeps only the streaming aggregates — the
         memory-lean mode for very large fleets; traces still work, but
         per-record analyses need the default.
-    kernel_factory / server_factory:
+    cost_mode:
+        Cost-stack semantics shared by every stream
+        (:data:`~repro.runtime.sim.COST_MODES`).  ``"flat"`` (default) is
+        the pre-profile scalar path: measured input occupancy on the first
+        layer, static modelled sparsity deeper.  ``"profile"`` propagates
+        each input's density through the layers and buckets it per layer —
+        the recommended mode for mixed-density fleets, where converging
+        deep-layer profiles share cost-cache entries across streams and
+        DSFA merges (see ``benchmarks/bench_cost_model.py``).
+    kernel_factory / server_factory / cost_model_factory:
         Alternative :class:`~repro.runtime.sim.SimulationKernel` /
-        :class:`SignatureServer` constructors.  These exist for the
-        pre-refactor reference implementations
-        (:mod:`repro.runtime.legacy`) used by the report-equivalence tests
-        and the kernel-scaling benchmark; production code leaves them unset.
+        :class:`SignatureServer` / :class:`~repro.runtime.sim.
+        NetworkCostModel` constructors.  These exist for the reference
+        implementations in :mod:`repro.runtime.legacy` (the pre-refactor
+        kernel/server and the scalar-keyed cost oracle) used by the
+        equivalence tests and benchmarks; production code leaves them
+        unset.
     """
 
     def __init__(
@@ -627,14 +640,20 @@ class MultiStreamSimulator:
         max_merge_streams: int = 4,
         remap_policy: Optional[RemapPolicy] = None,
         retain_records: bool = True,
+        cost_mode: str = "flat",
         kernel_factory: Optional[Callable[..., SimulationKernel]] = None,
         server_factory: Optional[Callable[..., SignatureServer]] = None,
+        cost_model_factory: Optional[Callable[..., NetworkCostModel]] = None,
     ) -> None:
         if not sources:
             raise ValueError("at least one stream source is required")
         names = [s.name for s in sources]
         if len(set(names)) != len(names):
             raise ValueError("stream names must be unique")
+        if cost_mode not in COST_MODES:
+            raise ValueError(
+                f"unknown cost_mode {cost_mode!r}; expected one of {COST_MODES}"
+            )
         self.platform = platform
         self.sources = list(sources)
         self.table = LayerCostTable(
@@ -643,8 +662,10 @@ class MultiStreamSimulator:
         self.max_merge_streams = max_merge_streams
         self.remap_policy = remap_policy
         self.retain_records = retain_records
+        self.cost_mode = cost_mode
         self.kernel_factory = kernel_factory or SimulationKernel
         self.server_factory = server_factory or SignatureServer
+        self.cost_model_factory = cost_model_factory or NetworkCostModel
         self.remap_client = (
             AdaptiveMappingClient(platform, remap_policy)
             if remap_policy is not None
@@ -715,12 +736,13 @@ class MultiStreamSimulator:
                 source.network, source.config, source.mapping
             )
             if signature not in servers:
-                cost_models[signature] = NetworkCostModel(
+                cost_models[signature] = self.cost_model_factory(
                     source.network,
                     self.platform,
                     config=source.config,
                     mapping=source.mapping,
                     table=self.table,
+                    cost_mode=self.cost_mode,
                 )
                 servers[signature] = self.server_factory(
                     kernel,
@@ -761,4 +783,5 @@ class MultiStreamSimulator:
             remaps=remaps,
             start_time=min(s.start_offset for s in self.sources),
             events_processed=kernel.events_processed,
+            cost_mode=self.cost_mode,
         )

@@ -65,7 +65,11 @@ PLATFORMS = {
 # v2: occupancy buckets round nonzero values up to the first bucket, the
 # no-DSFA drop rule includes queued service time, and mean aggregates are
 # streaming (sequential) sums.
-_CACHE_SALT = "scenario-sweep-v2"
+# v3: cost semantics change under per-layer occupancy profiles — the default
+# sweep policy costs each stream with a propagated per-layer occupancy
+# profile (cost_mode="profile") instead of the flat scalar path, and
+# same-family streams share rendered sequences through a seed pool.
+_CACHE_SALT = "scenario-sweep-v3"
 
 
 @dataclass(frozen=True)
@@ -84,12 +88,18 @@ class SweepPolicy:
     optimization:
         Optional :class:`OptimizationLevel` *value* (e.g. ``"e2sf+dsfa"``)
         forced onto every stream, overriding what the scenario compiled.
+    cost_mode:
+        Cost-stack semantics (:data:`repro.runtime.sim.COST_MODES`).
+        Sweeps default to ``"profile"`` — per-layer occupancy propagation,
+        the mode faithful to the paper's sparsity model; ``"flat"``
+        selects the pre-profile scalar path (the ``flat_costs`` built-in).
     """
 
     name: str
     max_merge_streams: int = 4
     occupancy_resolution: Optional[float] = 1.0 / 64.0
     optimization: Optional[str] = None
+    cost_mode: str = "profile"
 
     def to_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -99,6 +109,7 @@ BUILTIN_POLICIES = {
     "batched": SweepPolicy("batched"),
     "unbatched": SweepPolicy("unbatched", max_merge_streams=1),
     "exact_costs": SweepPolicy("exact_costs", occupancy_resolution=None),
+    "flat_costs": SweepPolicy("flat_costs", cost_mode="flat"),
 }
 
 
@@ -160,6 +171,29 @@ def sweep_grid(
     ]
 
 
+# Worker-side compiled-source cache, keyed on the spec's content hash.
+# Pool workers are long-lived across ``imap`` tasks, so one worker asked to
+# simulate several cells of the same scenario (platform/policy axes of a
+# grid) compiles it once and reuses the sources — including their rendered
+# frame caches.  Bounded FIFO: sweep grids iterate scenarios outermost, so
+# a small window captures all the reuse without pinning every spec's
+# sources in worker memory.
+_COMPILE_CACHE_LIMIT = 32
+_compiled_sources: Dict[str, list] = {}
+
+
+def _compiled(spec: ScenarioSpec) -> list:
+    """Compile ``spec`` at most once per process (sweep-worker memo)."""
+    key = spec.content_hash()
+    sources = _compiled_sources.get(key)
+    if sources is None:
+        sources = default_registry().compile(spec)
+        while len(_compiled_sources) >= _COMPILE_CACHE_LIMIT:
+            _compiled_sources.pop(next(iter(_compiled_sources)))
+        _compiled_sources[key] = sources
+    return sources
+
+
 def simulate_cell(cell: SweepCell) -> Dict[str, object]:
     """Compile and simulate one cell; returns a JSON-serialisable row.
 
@@ -169,7 +203,7 @@ def simulate_cell(cell: SweepCell) -> Dict[str, object]:
     sweep via ``default_registry().compile(spec)`` or the ``run`` CLI.
     """
     spec = cell.scenario
-    sources = default_registry().compile(spec)
+    sources = _compiled(spec)
     if cell.policy.optimization is not None:
         level = OptimizationLevel(cell.policy.optimization)
         sources = [
@@ -184,6 +218,7 @@ def simulate_cell(cell: SweepCell) -> Dict[str, object]:
         sources,
         occupancy_resolution=cell.policy.occupancy_resolution,
         max_merge_streams=cell.policy.max_merge_streams,
+        cost_mode=cell.policy.cost_mode,
     )
     report = simulator.run()
     return {
@@ -191,6 +226,7 @@ def simulate_cell(cell: SweepCell) -> Dict[str, object]:
         "family": cell.scenario.family,
         "platform": cell.platform,
         "policy": cell.policy.name,
+        "cost_mode": report.cost_mode,
         "hash": cell.content_hash(),
         "seed": cell.workload_seed,
         "num_streams": report.num_streams,

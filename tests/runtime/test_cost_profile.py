@@ -1,0 +1,404 @@
+"""Tests for the layered per-layer-occupancy cost stack and its oracle.
+
+Covers the profile plumbing end to end: per-layer bucketing (including the
+first-bucket rounding fix at per-layer granularity), merge-time profile
+combination on dispatched batches, the flat-profile equivalence against the
+scalar cost oracle kept in :mod:`repro.runtime.legacy`, and the cache-sharing
+property the layered stack exists for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DSFAConfig, EvEdgeConfig, EvEdgePipeline, OptimizationLevel
+from repro.core.dsfa import DynamicSparseFrameAggregator
+from repro.events import generate_sequence
+from repro.frames.sparse import SparseFrameBatch
+from repro.hw import jetson_xavier_agx
+from repro.models import build_network
+from repro.runtime import (
+    LayerCostTable,
+    MultiStreamSimulator,
+    NetworkCostModel,
+    OccupancyProfile,
+    StreamSource,
+)
+from repro.runtime.legacy import ScalarCostModel
+
+
+def assert_reports_identical(new, old):
+    """Bit-identical per-stream records and aggregate statistics."""
+    assert set(new.reports) == set(old.reports)
+    for name in new.reports:
+        a, b = new.reports[name], old.reports[name]
+        assert a.records == b.records, name
+        assert a.frames_generated == b.frames_generated, name
+        assert a.frames_merged == b.frames_merged, name
+        assert a.frames_dropped == b.frames_dropped, name
+        assert a.num_inferences == b.num_inferences, name
+        assert a.mean_latency == b.mean_latency, name
+        assert a.total_energy == b.total_energy, name
+        assert a.mean_occupancy == b.mean_occupancy, name
+        assert a.total_time == b.total_time, name
+    assert new.total_inferences == old.total_inferences
+    assert new.frames_generated == old.frames_generated
+    assert new.frames_dropped == old.frames_dropped
+    assert new.mean_latency == old.mean_latency
+    assert new.total_energy == old.total_energy
+    assert new.makespan == old.makespan
+    assert new.throughput == old.throughput
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return jetson_xavier_agx()
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_network("spikeflownet", 64, 64)
+
+
+@pytest.fixture(scope="module")
+def mixed_density_sources(network):
+    """DSFA + no-DSFA streams over scenes spanning the density spectrum."""
+    scenes = ("calibration_bars", "indoor_flying1", "outdoor_day1", "high_speed_disk")
+    with_dsfa = EvEdgeConfig(
+        num_bins=8,
+        optimization=OptimizationLevel.E2SF_DSFA,
+        dsfa=DSFAConfig(inference_queue_depth=2),
+    )
+    no_dsfa = EvEdgeConfig(
+        num_bins=8,
+        optimization=OptimizationLevel.E2SF,
+        dsfa=DSFAConfig(inference_queue_depth=2),
+    )
+    sources = []
+    for i in range(8):
+        sequence = generate_sequence(
+            scenes[i % len(scenes)], scale=0.08, duration=0.25, seed=11 + i
+        )
+        config = with_dsfa if i % 2 else no_dsfa
+        sources.append(
+            StreamSource(f"mix{i}", sequence, network, config, start_offset=0.0005 * i)
+        )
+    return sources
+
+
+def _sparse_model(network, platform, **kwargs):
+    return NetworkCostModel(
+        network,
+        platform,
+        config=EvEdgeConfig(optimization=OptimizationLevel.E2SF_DSFA),
+        table=LayerCostTable(occupancy_resolution=1.0 / 64.0),
+        **kwargs,
+    )
+
+
+class TestOccupancyProfileBuilding:
+    def test_invalid_cost_mode_rejected(self, network, platform):
+        with pytest.raises(ValueError):
+            NetworkCostModel(network, platform, cost_mode="quantum")
+
+    def test_flat_profile_matches_scalar_semantics(self, network, platform):
+        model = _sparse_model(network, platform)
+        profile = model.occupancy_profile(0.1)
+        assert profile.is_flat
+        assert profile.entries[0] == model.table.bucket(0.1)
+        assert all(e is None for e in profile.entries[1:])
+
+    def test_profile_mode_propagates_every_layer(self, network, platform):
+        model = _sparse_model(network, platform, cost_mode="profile")
+        profile = model.occupancy_profile(0.1)
+        assert not profile.is_flat
+        assert all(e is not None for e in profile.entries)
+        # Entries are bucket representatives (per-layer bucketing applied
+        # after propagation).
+        for entry in profile.entries:
+            assert entry == model.table.bucket(entry)
+
+    def test_first_bucket_rounding_applies_per_layer(self, network, platform):
+        # Extends the PR-4 ``bucket`` fix to per-layer granularity: a tiny
+        # but non-zero input density must not quantize to occupancy 0 at
+        # *any* layer — deep propagated occupancies are tiny first.
+        model = _sparse_model(network, platform, cost_mode="profile")
+        profile = model.occupancy_profile(1e-4)
+        first_bucket = 1.0 / 64.0
+        for entry in profile.entries:
+            assert entry >= first_bucket
+
+    def test_profiles_cached_per_input_bucket(self, network, platform):
+        model = _sparse_model(network, platform, cost_mode="profile")
+        a = model.occupancy_profile(0.1000)
+        b = model.occupancy_profile(0.1005)  # same 1/64 bucket
+        assert a is b
+
+    def test_converged_deep_buckets_shared_across_densities(self, network, platform):
+        model = _sparse_model(network, platform, cost_mode="profile")
+        a = model.occupancy_profile(0.05)
+        b = model.occupancy_profile(0.12)
+        assert a.entries[0] != b.entries[0]
+        depth = len(a.entries)
+        shared = sum(
+            1 for x, y in zip(a.entries, b.entries) if x == y
+        )
+        # The deep majority of the profile must coincide bucket for bucket.
+        assert shared >= depth // 2
+        assert a.entries[depth - 1] == b.entries[depth - 1]
+
+    def test_rebind_keeps_profiles_but_drops_network_memo(self, network, platform):
+        model = _sparse_model(network, platform, cost_mode="profile")
+        profile = model.occupancy_profile(0.1)
+        model.inference_cost(0.1, 1)
+        assert model._cache
+        model.rebind(None)
+        assert not model._cache
+        assert model.occupancy_profile(0.1) is profile
+
+
+class TestBatchProfiles:
+    def test_flat_batch_profile_uses_mean_density(self, network, platform):
+        model = _sparse_model(network, platform)
+        source = StreamSource(
+            "s",
+            generate_sequence("indoor_flying1", scale=0.08, duration=0.2, seed=0),
+            network,
+            EvEdgeConfig(optimization=OptimizationLevel.E2SF_DSFA),
+        )
+        frames = [f for _, f in source.generate_frames()][:4]
+        batch = SparseFrameBatch(frames)
+        profile = model.batch_profile(batch)
+        assert profile == model.occupancy_profile(max(batch.mean_density, 1e-4))
+
+    def test_merge_time_combination_is_member_mean(self, network, platform):
+        # DSFA merge-time profile combination: a batched dispatch's profile
+        # is the entry-wise mean of its members' propagated profiles (then
+        # re-bucketed), not the propagation of the mean density.
+        model = _sparse_model(network, platform, cost_mode="profile")
+        source = StreamSource(
+            "s",
+            generate_sequence("high_speed_disk", scale=0.1, duration=0.25, seed=3),
+            network,
+            EvEdgeConfig(optimization=OptimizationLevel.E2SF_DSFA),
+        )
+        frames = [f for _, f in source.generate_frames()]
+        frames = sorted(frames, key=lambda f: f.density)
+        batch = SparseFrameBatch([frames[0], frames[-1]])  # extremes of the run
+        assert frames[0].density != frames[-1].density
+        profile = model.batch_profile(batch)
+        members = [
+            model.occupancy_profile(max(density, 1e-4))
+            for density in batch.frame_densities()
+        ]
+        expected = OccupancyProfile.combine(members).bucketed(model.table.bucket)
+        assert profile == expected
+
+    def test_dsfa_dispatched_batch_gets_combined_profile(self, network, platform):
+        model = _sparse_model(network, platform, cost_mode="profile")
+        source = StreamSource(
+            "s",
+            generate_sequence("indoor_flying1", scale=0.1, duration=0.3, seed=1),
+            network,
+            EvEdgeConfig(
+                num_bins=10,
+                optimization=OptimizationLevel.E2SF_DSFA,
+                dsfa=DSFAConfig(event_buffer_size=6, merge_bucket_size=2),
+            ),
+        )
+        aggregator = DynamicSparseFrameAggregator(source.config.dsfa)
+        batch = None
+        for _, frame in source.generate_frames():
+            batch = aggregator.push(frame)
+            if batch is not None and len(batch) > 1:
+                break
+        assert batch is not None and len(batch) > 1
+        profile = model.batch_profile(batch)
+        assert len(profile) == len(model._assignments)
+        assert all(e is not None for e in profile.entries)
+
+    def test_scalar_oracle_keeps_merged_profiles_raw(self, network, platform):
+        # The scalar-keyed stack has no per-layer quantization anywhere —
+        # merged dispatches included.  Its combined profile must be the
+        # exact entry-wise mean of the raw member profiles, not a
+        # re-bucketed one.
+        model = ScalarCostModel(
+            network,
+            platform,
+            config=EvEdgeConfig(optimization=OptimizationLevel.E2SF_DSFA),
+            table=LayerCostTable(occupancy_resolution=1.0 / 64.0),
+            cost_mode="profile",
+        )
+        source = StreamSource(
+            "s",
+            generate_sequence("high_speed_disk", scale=0.1, duration=0.25, seed=3),
+            network,
+            EvEdgeConfig(optimization=OptimizationLevel.E2SF_DSFA),
+        )
+        frames = sorted(
+            (f for _, f in source.generate_frames()), key=lambda f: f.density
+        )
+        batch = SparseFrameBatch([frames[0], frames[-1]])
+        profile = model.batch_profile(batch)
+        members = [
+            model.occupancy_profile(max(density, 1e-4))
+            for density in batch.frame_densities()
+        ]
+        assert profile == OccupancyProfile.combine(members)  # no re-bucketing
+
+    def test_dense_streams_profile_at_full_occupancy(self, network, platform):
+        model = NetworkCostModel(
+            network,
+            platform,
+            config=EvEdgeConfig(optimization=OptimizationLevel.BASELINE),
+            cost_mode="profile",
+        )
+        batch = SparseFrameBatch([])
+        assert model.batch_profile(batch, 1.0) == model.occupancy_profile(1.0)
+
+    def test_profile_length_mismatch_rejected(self, network, platform):
+        model = _sparse_model(network, platform)
+        with pytest.raises(ValueError):
+            model.profile_cost(OccupancyProfile((0.1,)), 1)
+
+
+class TestProfileCosts:
+    def test_flat_inference_cost_unchanged_by_refactor(self, network, platform):
+        # The layered composition with a flat profile must equal the
+        # pre-profile scalar walk bit for bit (same table, same buckets).
+        layered = _sparse_model(network, platform)
+        oracle = ScalarCostModel(
+            network,
+            platform,
+            config=EvEdgeConfig(optimization=OptimizationLevel.E2SF_DSFA),
+            table=LayerCostTable(occupancy_resolution=1.0 / 64.0),
+        )
+        for occupancy, batch in [(1e-4, 1), (0.05, 2), (0.3, 4), (1.0, 1)]:
+            assert layered.inference_cost(occupancy, batch) == oracle.inference_cost(
+                occupancy, batch
+            )
+
+    def test_propagated_costs_are_cheaper_for_sparse_inputs(self, network, platform):
+        flat = _sparse_model(network, platform)
+        profiled = _sparse_model(network, platform, cost_mode="profile")
+        lat_flat, en_flat = flat.inference_cost(0.02, 1)
+        lat_prof, en_prof = profiled.inference_cost(0.02, 1)
+        # A nearly-empty input keeps deep layers sparser than their static
+        # modelled activity, so the propagated cost can only be lower.
+        assert lat_prof <= lat_flat
+        assert en_prof <= en_flat
+        assert lat_prof > 0 and en_prof > 0
+
+
+class TestHardwareProfileHooks:
+    """The hw-layer cost hooks accept per-layer occupancy sequences."""
+
+    def test_network_latency_with_profile_matches_layer_sum(self, network, platform):
+        from repro.hw.latency import LatencyModel
+
+        model = LatencyModel()
+        gpu = platform.gpu()
+        specs = [s for s in network.layers() if s.kind.is_compute]
+        profile = network.occupancy_profile(0.08)
+        from repro.nn import Precision
+
+        total = model.network_latency(
+            network.layers(), gpu, Precision.FP16, sparse=True, occupancies=profile
+        )
+        expected = sum(
+            model.layer_latency(
+                spec, gpu, Precision.FP16, sparse=True, occupancy=occ
+            ).total
+            for spec, occ in zip(specs, profile)
+        )
+        assert total == pytest.approx(expected)
+        # And the profile-aware total differs from the static-sparsity one.
+        assert total != model.network_latency(
+            network.layers(), gpu, Precision.FP16, sparse=True
+        )
+
+    def test_network_energy_with_profile_matches_layer_sum(self, network, platform):
+        from repro.hw.energy import EnergyModel
+        from repro.nn import Precision
+
+        model = EnergyModel()
+        gpu = platform.gpu()
+        specs = [s for s in network.layers() if s.kind.is_compute]
+        profile = network.occupancy_profile(0.08)
+        total = model.network_energy(
+            network.layers(), gpu, Precision.FP16, sparse=True, occupancies=profile
+        )
+        expected = sum(
+            model.layer_energy(
+                spec, gpu, Precision.FP16, sparse=True, occupancy=occ
+            ).total
+            for spec, occ in zip(specs, profile)
+        )
+        assert total == pytest.approx(expected)
+
+    def test_occupancy_length_mismatch_rejected(self, network, platform):
+        from repro.hw.energy import EnergyModel
+        from repro.hw.latency import LatencyModel
+        from repro.nn import Precision
+
+        gpu = platform.gpu()
+        with pytest.raises(ValueError):
+            LatencyModel().network_latency(
+                network.layers(), gpu, Precision.FP16, occupancies=[0.1]
+            )
+        with pytest.raises(ValueError):
+            EnergyModel().network_energy(
+                network.layers(), gpu, Precision.FP16, occupancies=[0.1]
+            )
+
+
+class TestFleetEquivalenceAndSharing:
+    def test_flat_fleet_bit_identical_to_scalar_oracle(
+        self, platform, mixed_density_sources
+    ):
+        # Equivalence mode: uniform (flat) profiles must reproduce the
+        # PR-4 scalar cost oracle's MultiStreamReport bit for bit.
+        new = MultiStreamSimulator(platform, mixed_density_sources).run()
+        oracle = MultiStreamSimulator(
+            platform, mixed_density_sources, cost_model_factory=ScalarCostModel
+        ).run()
+        assert new.cost_mode == "flat"
+        assert_reports_identical(new, oracle)
+
+    def test_layered_stack_outshares_scalar_keyed_stack(
+        self, platform, mixed_density_sources
+    ):
+        layered = MultiStreamSimulator(
+            platform, mixed_density_sources, cost_mode="profile"
+        ).run()
+        scalar = MultiStreamSimulator(
+            platform,
+            mixed_density_sources,
+            cost_mode="profile",
+            cost_model_factory=ScalarCostModel,
+        ).run()
+        assert layered.cost_mode == "profile"
+        # Identical traffic shape on both stacks...
+        assert layered.frames_generated == scalar.frames_generated
+        # ...but per-layer bucketing after propagation shares deep-layer
+        # cells the scalar-keyed stack re-mints per input bucket.
+        assert layered.cache_info["hit_rate"] > scalar.cache_info["hit_rate"]
+        assert layered.cache_info["entries"] < scalar.cache_info["entries"]
+
+    def test_simulator_rejects_unknown_cost_mode(
+        self, platform, mixed_density_sources
+    ):
+        with pytest.raises(ValueError):
+            MultiStreamSimulator(
+                platform, mixed_density_sources, cost_mode="exact"
+            )
+
+    def test_pipeline_profile_mode_runs_and_is_cheaper(self, network, platform):
+        sequence = generate_sequence("indoor_flying1", scale=0.1, duration=0.3, seed=0)
+        config = EvEdgeConfig(num_bins=5, optimization=OptimizationLevel.E2SF_DSFA)
+        flat = EvEdgePipeline(network, platform, config).run(sequence)
+        profiled = EvEdgePipeline(
+            network, platform, config, cost_mode="profile"
+        ).run(sequence)
+        assert profiled.num_inferences > 0
+        assert profiled.total_energy <= flat.total_energy

@@ -176,8 +176,13 @@ class TestSweep:
         registry = default_registry()
         spec = registry.resolve("bursty", **SMALL)
         row = simulate_cell(SweepCell(spec))
-        report = MultiStreamSimulator(platform, registry.compile(spec)).run()
+        # Rows record their cost-model mode so they can be replayed with the
+        # same cost semantics the policy selected.
+        report = MultiStreamSimulator(
+            platform, registry.compile(spec), cost_mode=row["cost_mode"]
+        ).run()
         assert row["seed"] == spec.seed
+        assert row["cost_mode"] == "profile"
         assert row["inferences"] == report.total_inferences
         assert row["throughput_fps"] == pytest.approx(report.throughput)
         assert row["frames_dropped"] == report.frames_dropped
