@@ -34,6 +34,7 @@ from __future__ import annotations
 import os
 import time
 
+from bench_utils import write_bench_json
 from repro.core import DSFAConfig, EvEdgeConfig, OptimizationLevel
 from repro.events import generate_sequence
 from repro.experiments import format_table
@@ -199,3 +200,6 @@ def test_cost_model_stacks(benchmark):
     # path (propagation work is memoized per input bucket).
     for row in rows:
         assert row["ev_per_s"] > 0
+    write_bench_json(
+        "cost_model", rows, meta={"streams": NUM_STREAMS, "repeats": REPEATS}
+    )

@@ -17,11 +17,22 @@ against two baselines at the tiers where it is affordable:
   is the end-to-end events/sec a PR-3 checkout delivered, and the number the
   ≥3x acceptance gate is asserted against at the 256-stream tier.
 
+The sharded tiers (``test_kernel_scaling_sharded``) push past the single
+process: 4096- and 10240-stream steady fleets partitioned by signature
+across worker-process shards (see :mod:`repro.runtime.shard`), with a
+single-process baseline at the smallest sharded tier.  On a >=4-core
+runner the 4-shard aggregate events/sec must be >= 2x the single-process
+kernel at equal stream count; on smaller machines the ratio is reported
+but not asserted — worker processes cannot conjure cores.
+
 Environment knobs (used by the CI smoke job):
 
 * ``KERNEL_SCALING_TIERS`` — comma-separated fleet sizes (default
   ``64,256,1024``).  CI runs the smallest tier only.
 * ``KERNEL_SCALING_REPEATS`` — timing repeats per cell (default 3).
+* ``KERNEL_SCALING_SHARD_TIERS`` — comma-separated sharded fleet sizes
+  (default ``4096,10240``; empty skips the sharded benchmark).
+* ``KERNEL_SCALING_SHARDS`` — worker shard count (default 4).
 
 Legacy baselines run only at tiers <= 256: the quadratic pending-list scans
 make a 1024-stream legacy run take minutes, which is the point of the
@@ -34,6 +45,9 @@ import dataclasses
 import os
 import time
 
+import pytest
+
+from bench_utils import write_bench_json
 from repro.core import DSFAConfig
 from repro.experiments import format_table
 from repro.hw import jetson_xavier_agx
@@ -42,17 +56,33 @@ from repro.runtime.legacy import LegacyListServer, LegacyScanKernel
 from repro.scenarios.registry import default_registry
 from repro.scenarios.spec import ScenarioSpec
 
-TIERS = tuple(
-    int(tier)
-    for tier in os.environ.get("KERNEL_SCALING_TIERS", "64,256,1024").split(",")
-)
+
+def _tiers(env_var: str, default: str):
+    return tuple(
+        int(tier)
+        for tier in os.environ.get(env_var, default).split(",")
+        if tier.strip()
+    )
+
+
+TIERS = _tiers("KERNEL_SCALING_TIERS", "64,256,1024")
 REPEATS = int(os.environ.get("KERNEL_SCALING_REPEATS", "3"))
+SHARD_TIERS = _tiers("KERNEL_SCALING_SHARD_TIERS", "4096,10240")
+SHARDS = int(os.environ.get("KERNEL_SCALING_SHARDS", "4"))
 # Largest tier the O(streams)/O(queue) legacy baselines are run at.
 LEGACY_TIER_CAP = 256
 FAMILIES = ("steady", "churn")
 QUEUE_DEPTH = 16
 SPEEDUP_GATE_TIER = 256
 SPEEDUP_GATE = 3.0
+SHARD_SPEEDUP_GATE = 2.0
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 
 
 def _fleet(family: str, num_streams: int):
@@ -132,7 +162,7 @@ def test_kernel_scaling(benchmark):
             sources = _fleet(family, num_streams)
             for source in sources:
                 source.generate_frames()  # warm the per-source frame cache
-            if family == FAMILIES[0] and num_streams == max(TIERS):
+            if family == FAMILIES[0] and TIERS and num_streams == max(TIERS):
                 benchmark.pedantic(
                     lambda: MultiStreamSimulator(platform, sources).run(),
                     iterations=1,
@@ -206,3 +236,100 @@ def test_kernel_scaling(benchmark):
         assert speedup >= SPEEDUP_GATE, (
             f"{family}@{SPEEDUP_GATE_TIER}: {speedup:.2f}x < {SPEEDUP_GATE}x"
         )
+    write_bench_json(
+        "kernel_scaling",
+        rows,
+        meta={"tiers": list(TIERS), "repeats": REPEATS, "families": list(FAMILIES)},
+    )
+
+
+def test_kernel_scaling_sharded(benchmark):
+    """Sharded fleet tiers: aggregate events/sec past the single process.
+
+    The smallest sharded tier also runs single-process to measure the
+    shard speedup; larger tiers run sharded only (a 10k-stream
+    single-process run is exactly what the shards exist to avoid timing).
+    """
+    if not SHARD_TIERS:
+        pytest.skip("KERNEL_SCALING_SHARD_TIERS is empty")
+    platform = jetson_xavier_agx()
+    cores = _available_cores()
+
+    rows = []
+    for num_streams in SHARD_TIERS:
+        sources = _fleet("steady", num_streams)
+        for source in sources:
+            source.generate_frames()  # warm caches before the workers fork
+        if num_streams == max(SHARD_TIERS):
+            benchmark.pedantic(
+                lambda: MultiStreamSimulator(
+                    platform, sources, shards=SHARDS
+                ).run(),
+                iterations=1,
+                rounds=1,
+            )
+        sharded_report, t_sharded = _timed_run(platform, sources, shards=SHARDS)
+        assert sharded_report.shards > 1
+        assert sharded_report.total_inferences > 0
+        row = {
+            "family": "steady",
+            "streams": num_streams,
+            "shards": sharded_report.shards,
+            "events": sharded_report.events_processed,
+            "sharded_ev_per_s": sharded_report.events_processed / t_sharded,
+            "dropped": sharded_report.frames_dropped,
+        }
+        if num_streams == min(SHARD_TIERS):
+            single_report, t_single = _timed_run(platform, sources)
+            row["single_ev_per_s"] = single_report.events_processed / t_single
+            # Equal frames in, equal work out: sharding repartitions the
+            # fleet, it must not change how much traffic gets simulated.
+            assert sharded_report.frames_generated == single_report.frames_generated
+            row["shard_speedup"] = (
+                row["sharded_ev_per_s"] / row["single_ev_per_s"]
+            )
+        rows.append(row)
+
+    print(f"\n=== Sharded kernel: {SHARDS}-shard aggregate events/sec ===")
+    print(
+        format_table(
+            rows,
+            [
+                "family",
+                "streams",
+                "shards",
+                "events",
+                "dropped",
+                "sharded_ev_per_s",
+                "single_ev_per_s",
+                "shard_speedup",
+            ],
+        )
+    )
+    print(f"cores={cores} (speedup gate applies at >= {SHARDS} cores)")
+
+    for row in rows:
+        assert row["events"] > 0
+        assert row["sharded_ev_per_s"] > 0
+    # Acceptance gate: on a machine with enough cores to actually run the
+    # shards, aggregate events/sec must be >= 2x the single process at
+    # equal stream count.
+    gated = [row for row in rows if "shard_speedup" in row]
+    if cores >= SHARDS:
+        for row in gated:
+            assert row["shard_speedup"] >= SHARD_SPEEDUP_GATE, (
+                f"steady@{row['streams']}: {row['shard_speedup']:.2f}x "
+                f"< {SHARD_SPEEDUP_GATE}x with {SHARDS} shards on {cores} cores"
+            )
+    write_bench_json(
+        "kernel_scaling_sharded",
+        rows,
+        meta={
+            "shard_tiers": list(SHARD_TIERS),
+            "shards": SHARDS,
+            "repeats": REPEATS,
+            "cores": cores,
+            "speedup_gate": SHARD_SPEEDUP_GATE,
+            "gate_enforced": cores >= SHARDS,
+        },
+    )

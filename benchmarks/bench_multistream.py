@@ -6,6 +6,7 @@ per simulated second), mean dispatch-to-completion latency and drop counts,
 so future PRs have a traffic-scaling trajectory to compare against.
 """
 
+from bench_utils import write_bench_json
 from repro.experiments import format_table, traffic_mix
 from repro.hw import jetson_xavier_agx
 from repro.runtime import MultiStreamSimulator
@@ -69,3 +70,4 @@ def test_multistream_scaling(benchmark, settings):
     assert reports[16].throughput > reports[1].throughput
     # The shared layer-cost table should be hitting heavily under traffic.
     assert rows[-1]["cache_hit_rate"] > 0.5
+    write_bench_json("multistream", rows, meta={"stream_counts": list(STREAM_COUNTS)})

@@ -17,6 +17,7 @@ import time
 
 import numpy as np
 
+from bench_utils import write_bench_json
 from repro.core import FitnessEvaluator, MappingCandidate, NMPConfig
 from repro.experiments import run_fig10
 from repro.experiments.fig9_multi_task import MULTI_TASK_CONFIGS
@@ -69,6 +70,17 @@ def test_nmp_flattened_scheduler_speedup(settings):
     for candidate in candidates[:20]:
         assert flat.evaluate(candidate).fitness == reference.evaluate(candidate).fitness
     assert speedup >= 2.0
+    write_bench_json(
+        "nmp_scheduler",
+        [
+            {
+                "flat_eval_per_s": flat_rate,
+                "reference_eval_per_s": reference_rate,
+                "speedup": speedup,
+            }
+        ],
+        meta={"candidates": len(candidates) - 1},
+    )
 
 
 def test_nmp_strategy_time_to_target(settings, benchmark):
@@ -82,6 +94,7 @@ def test_nmp_strategy_time_to_target(settings, benchmark):
 
     print("\n=== NMP search: time-to-target-fitness (5% of best) ===")
     print(f"{'strategy':14s} {'best_ms':>9s} {'evals':>7s} {'to-target':>10s}")
+    strategy_rows = []
     for name, stats in strategies.items():
         convergence = stats["convergence"]
         per_generation = stats["requested_evaluations"] / max(len(convergence), 1)
@@ -97,6 +110,19 @@ def test_nmp_strategy_time_to_target(settings, benchmark):
             f"{name:14s} {stats['latency_ms']:9.3f} {stats['requested_evaluations']:7d} "
             f"{to_target if to_target is not None else '-':>10}"
         )
+        strategy_rows.append(
+            {
+                "strategy": name,
+                "best_latency_ms": stats["latency_ms"],
+                "requested_evaluations": stats["requested_evaluations"],
+                "evals_to_target": to_target,
+            }
+        )
+    write_bench_json(
+        "nmp_strategy_race",
+        strategy_rows,
+        meta={"evaluation_budget": result["evaluation_budget"]},
+    )
 
     # Every strategy spends (at most) the shared budget.
     budget = result["evaluation_budget"]

@@ -16,6 +16,7 @@ skipped — a fork pool cannot conjure cores.
 
 import os
 
+from bench_utils import write_bench_json
 from repro.experiments import format_table
 from repro.scenarios import SweepRunner, sweep_grid
 
@@ -90,21 +91,27 @@ def test_scenario_sweep_parallel_and_cached(benchmark, settings, tmp_path):
 
     speedup = serial.elapsed_s / max(parallel.elapsed_s, 1e-9)
     cores = _available_cores()
+    mode_rows = [
+        {"mode": "serial", "workers": 1, "elapsed_s": serial.elapsed_s,
+         "simulated": serial.simulated, "from_cache": serial.from_cache},
+        {"mode": "parallel", "workers": WORKERS, "elapsed_s": parallel.elapsed_s,
+         "simulated": parallel.simulated, "from_cache": parallel.from_cache},
+        {"mode": "cached", "workers": WORKERS, "elapsed_s": cached.elapsed_s,
+         "simulated": cached.simulated, "from_cache": cached.from_cache},
+    ]
     print("\n=== Scenario sweep: serial vs parallel vs cached ===")
     print(
         format_table(
-            [
-                {"mode": "serial", "workers": 1, "elapsed_s": serial.elapsed_s,
-                 "simulated": serial.simulated, "from_cache": serial.from_cache},
-                {"mode": "parallel", "workers": WORKERS, "elapsed_s": parallel.elapsed_s,
-                 "simulated": parallel.simulated, "from_cache": parallel.from_cache},
-                {"mode": "cached", "workers": WORKERS, "elapsed_s": cached.elapsed_s,
-                 "simulated": cached.simulated, "from_cache": cached.from_cache},
-            ],
+            mode_rows,
             ["mode", "workers", "elapsed_s", "simulated", "from_cache"],
         )
     )
     print(f"cells={len(cells)}  cores={cores}  parallel speedup={speedup:.2f}x")
+    write_bench_json(
+        "scenarios",
+        mode_rows,
+        meta={"cells": len(cells), "cores": cores, "parallel_speedup": speedup},
+    )
     if cores >= WORKERS:
         assert speedup >= 2.0, (
             f"expected >=2x speedup with {WORKERS} workers on {cores} cores, "

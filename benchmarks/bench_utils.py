@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark scripts.
+
+Every benchmark prints a human-readable table *and* persists the same rows
+as a machine-readable ``BENCH_<name>.json`` next to the repo root, so the
+perf trajectory (events/sec per tier, cache hit-rates, sweep wall-clocks)
+is tracked in-repo across PRs instead of living only in CI logs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from datetime import datetime, timezone
+from typing import Dict, List, Optional
+
+__all__ = ["write_bench_json"]
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def write_bench_json(
+    name: str,
+    rows: List[Dict[str, object]],
+    meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write benchmark rows to ``BENCH_<name>.json`` and return the path.
+
+    The output directory defaults to the repo root (where the files are
+    committed) and can be redirected with ``BENCH_JSON_DIR`` — CI smoke
+    jobs point it at a scratch dir so partial smoke-tier rows never
+    overwrite the checked-in full-tier trajectories.
+    """
+    out_dir = os.environ.get("BENCH_JSON_DIR") or _REPO_ROOT
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    payload = {
+        "benchmark": name,
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "meta": meta or {},
+        "rows": rows,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+        fh.write("\n")
+    return path

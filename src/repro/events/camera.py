@@ -151,7 +151,85 @@ class DVSCamera:
         last_event_time: np.ndarray,
         theta: float,
     ):
-        """Core per-interval event generation loop."""
+        """Vectorized event generation: per-interval active-pixel subset.
+
+        Bit-identical to :meth:`_generate_events_dense` (regression-tested)
+        but restricts the per-step work to pixels that *can* fire inside the
+        interval.  The interpolated log intensity is linear in ``frac`` and
+        the reference level only moves at pixels that fire, so a pixel's
+        first crossing in the interval requires
+        ``max(|v(1/steps)|, |v(1)|) >= theta`` with ``v(frac)`` measured
+        against the reference at interval entry — the endpoint maximum of a
+        linear function.  That candidate superset (with a 1e-9 slack, many
+        orders above the fp error of the endpoint evaluation) is gathered
+        into 1-D working arrays; per-step arithmetic, rng jitter draws and
+        reference updates then run element-for-element identical to the
+        dense loop, in the same row-major pixel order.
+        """
+        xs: List[np.ndarray] = []
+        ys: List[np.ndarray] = []
+        ts: List[np.ndarray] = []
+        ps: List[np.ndarray] = []
+        steps = self.interpolation_steps
+        refractory = self.geometry.refractory_period
+
+        for idx in range(len(log_frames) - 1):
+            start_log, end_log = log_frames[idx], log_frames[idx + 1]
+            t0, t1 = times[idx], times[idx + 1]
+            first = 1.0 / steps
+            v_first = start_log * (1.0 - first) + end_log * first - reference
+            v_last = end_log - reference
+            candidate = np.maximum(np.abs(v_first), np.abs(v_last)) >= theta - 1e-9
+            if not candidate.any():
+                # No pixel can cross inside this interval: the dense loop
+                # would emit nothing and draw no jitter either.
+                continue
+            cand_y, cand_x = np.nonzero(candidate)
+            ref = reference[cand_y, cand_x]
+            let = last_event_time[cand_y, cand_x]
+            start_1d = start_log[cand_y, cand_x]
+            end_1d = end_log[cand_y, cand_x]
+            for s in range(1, steps + 1):
+                frac = s / steps
+                current = start_1d * (1.0 - frac) + end_1d * frac
+                t_mid = t0 + frac * (t1 - t0)
+                delta = current - ref
+                n_events = np.floor(np.abs(delta) / theta).astype(np.int64)
+                eligible = (t_mid - let) >= refractory
+                n_events = np.where(eligible, n_events, 0)
+                if not n_events.any():
+                    continue
+                fired = np.nonzero(n_events)[0]
+                counts = n_events[fired]
+                pol = np.sign(delta[fired]).astype(np.int8)
+                rep_x = np.repeat(cand_x[fired], counts).astype(np.int32)
+                rep_y = np.repeat(cand_y[fired], counts).astype(np.int32)
+                rep_p = np.repeat(pol, counts)
+                jitter = self._rng.uniform(0.0, (t1 - t0) / (steps * 4.0), rep_x.size)
+                rep_t = np.full(rep_x.size, t_mid, dtype=np.float64) + jitter
+                xs.append(rep_x)
+                ys.append(rep_y)
+                ts.append(rep_t)
+                ps.append(rep_p)
+                ref[fired] += pol * counts * theta
+                let[fired] = t_mid
+            reference[cand_y, cand_x] = ref
+            last_event_time[cand_y, cand_x] = let
+        return xs, ys, ts, ps
+
+    def _generate_events_dense(
+        self,
+        log_frames: Sequence[np.ndarray],
+        times: np.ndarray,
+        reference: np.ndarray,
+        last_event_time: np.ndarray,
+        theta: float,
+    ):
+        """Reference per-interval loop: one dense subtract per sub-step.
+
+        Kept as the oracle the vectorized path is equivalence-tested
+        against — a direct transcription of the pixel model, no gathering.
+        """
         xs: List[np.ndarray] = []
         ys: List[np.ndarray] = []
         ts: List[np.ndarray] = []

@@ -155,6 +155,31 @@ class PipelineReport:
         if self.keep_records:
             self.records.extend(records)
 
+    def merge(self, other: "PipelineReport") -> "PipelineReport":
+        """Combine two reports into a new one (shard-report composition).
+
+        Frame counters and streaming accumulators are summed, the completion
+        time is the max of the two, and records are concatenated when *both*
+        inputs retained them (a lean report anywhere in the merge keeps the
+        result lean — the accumulators are the part that composes at fleet
+        scale).  Neither input is mutated.
+        """
+        merged = PipelineReport(keep_records=self.keep_records and other.keep_records)
+        merged.frames_generated = self.frames_generated + other.frames_generated
+        merged.frames_merged = self.frames_merged + other.frames_merged
+        merged.frames_dropped = self.frames_dropped + other.frames_dropped
+        for part in (self, other):
+            count, latency, energy, occupancy, max_end = part._accumulators()
+            merged._num_records += count
+            merged._latency_sum += latency
+            merged._energy_sum += energy
+            merged._occupancy_sum += occupancy
+            if max_end > merged._max_end_time:
+                merged._max_end_time = max_end
+        if merged.keep_records:
+            merged.records = self.records + other.records
+        return merged
+
     def _accumulators(self) -> Tuple[int, float, float, float, float]:
         """(count, latency_sum, energy_sum, occupancy_sum, max_end_time).
 

@@ -483,7 +483,13 @@ class AdaptiveMappingClient:
 # ----------------------------------------------------------------------
 @dataclass
 class MultiStreamReport:
-    """Per-stream and aggregate statistics of one traffic simulation."""
+    """Per-stream and aggregate statistics of one traffic simulation.
+
+    ``shards`` counts the worker kernels that produced the report (1 for the
+    single-process path); ``epochs`` carries the per-shard
+    :class:`~repro.runtime.shard.EpochSummary` rows of a sharded run's
+    epoch-barrier protocol (``None`` on the single-process path).
+    """
 
     reports: Dict[str, PipelineReport]
     end_time: float
@@ -493,6 +499,8 @@ class MultiStreamReport:
     start_time: float = 0.0
     events_processed: int = 0
     cost_mode: str = "flat"
+    shards: int = 1
+    epochs: Optional[list] = None
 
     @property
     def num_streams(self) -> int:
@@ -561,6 +569,68 @@ class MultiStreamReport:
             return 0.0
         return latency_sum / count
 
+    def merge(self, other: "MultiStreamReport") -> "MultiStreamReport":
+        """Combine two reports over *disjoint* stream sets into a new one.
+
+        This is the shard-composition operation: per-stream reports are
+        unioned (a stream appearing in both inputs has its
+        :class:`~repro.runtime.sim.PipelineReport` accumulators merged —
+        partial shard reports of one stream compose too), the active window
+        spans both inputs (``start_time`` min / ``end_time`` max), event and
+        cache counters are summed, remap records are concatenated in time
+        order and ``shards`` adds up.  Traces do not compose across kernels,
+        so the merged report carries none.  Cost modes must agree: merging
+        reports produced under different cost semantics would silently mix
+        incomparable numbers.
+        """
+        if self.cost_mode != other.cost_mode:
+            raise ValueError(
+                f"cannot merge reports with different cost modes "
+                f"({self.cost_mode!r} != {other.cost_mode!r})"
+            )
+        reports = dict(self.reports)
+        for name, report in other.reports.items():
+            existing = reports.get(name)
+            reports[name] = report if existing is None else existing.merge(report)
+        cache_info = None
+        if self.cache_info is not None or other.cache_info is not None:
+            cache_info = {"hits": 0.0, "misses": 0.0, "entries": 0.0}
+            for info in (self.cache_info, other.cache_info):
+                for key in ("hits", "misses", "entries"):
+                    cache_info[key] += (info or {}).get(key, 0.0)
+            lookups = cache_info["hits"] + cache_info["misses"]
+            cache_info["hit_rate"] = cache_info["hits"] / lookups if lookups else 0.0
+        epochs = None
+        if self.epochs is not None or other.epochs is not None:
+            epochs = list(self.epochs or []) + list(other.epochs or [])
+        # A report with no streams is an identity element for the window
+        # bounds: its (start, end) must not drag the merged window to 0.
+        windows = [r for r in (self, other) if r.reports]
+        return MultiStreamReport(
+            reports=reports,
+            end_time=max((r.end_time for r in windows), default=0.0),
+            trace=None,
+            cache_info=cache_info,
+            remaps=sorted(
+                list(self.remaps) + list(other.remaps), key=lambda r: r.time
+            ),
+            start_time=min((r.start_time for r in windows), default=0.0),
+            events_processed=self.events_processed + other.events_processed,
+            cost_mode=self.cost_mode,
+            shards=self.shards + other.shards,
+            epochs=epochs,
+        )
+
+    @classmethod
+    def merged(cls, reports: Sequence["MultiStreamReport"]) -> "MultiStreamReport":
+        """Fold :meth:`merge` over a non-empty sequence of shard reports."""
+        if not reports:
+            raise ValueError("at least one report is required to merge")
+        result = reports[0]
+        for report in reports[1:]:
+            result = result.merge(report)
+        return result
+
     def per_stream_rows(self) -> List[Dict[str, object]]:
         """Table rows (one per stream) for the experiment harnesses."""
         return [
@@ -611,6 +681,32 @@ class MultiStreamSimulator:
         (default).  ``False`` keeps only the streaming aggregates — the
         memory-lean mode for very large fleets; traces still work, but
         per-record analyses need the default.
+    shards:
+        Number of worker kernels the fleet is partitioned across
+        (default 1 = the in-process path, bit-identical to the unsharded
+        kernel).  With ``shards > 1`` the sources are partitioned by
+        ``shard_by``, each shard runs its own :class:`SimulationKernel` /
+        :class:`SignatureServer` set / cost tables (in worker processes, or
+        inline per ``shard_mode``), shards advance in lockstep through
+        epoch barriers of ``epoch_length`` simulated seconds, and the
+        per-shard reports are merged with :meth:`MultiStreamReport.merge`.
+        See :mod:`repro.runtime.shard` for partitioning and equivalence
+        semantics — cross-stream merging always stays within a shard.
+    shard_by:
+        Partition rule: ``"signature"`` (default) splits whole signature
+        groups across shards and models each shard as its own platform
+        replica (fleet-of-fleets); ``"platform_group"`` only splits
+        PE-disjoint signature components, which keeps the merged report
+        bit-identical to the single-process kernel by construction.
+    epoch_length:
+        Epoch-barrier interval in simulated seconds (``None`` = the fleet
+        horizon divided by :data:`~repro.runtime.shard.DEFAULT_EPOCHS`).
+    shard_mode:
+        ``"process"`` (default) runs shards in worker processes —
+        falling back to inline execution where children are unavailable
+        (daemonic workers); ``"inline"`` runs the same epoch-lockstep
+        protocol sequentially in-process (deterministic tests, 1-core
+        machines).
     cost_mode:
         Cost-stack semantics shared by every stream
         (:data:`~repro.runtime.sim.COST_MODES`).  ``"flat"`` (default) is
@@ -644,6 +740,10 @@ class MultiStreamSimulator:
         kernel_factory: Optional[Callable[..., SimulationKernel]] = None,
         server_factory: Optional[Callable[..., SignatureServer]] = None,
         cost_model_factory: Optional[Callable[..., NetworkCostModel]] = None,
+        shards: int = 1,
+        shard_by: str = "signature",
+        epoch_length: Optional[float] = None,
+        shard_mode: str = "process",
     ) -> None:
         if not sources:
             raise ValueError("at least one stream source is required")
@@ -654,6 +754,26 @@ class MultiStreamSimulator:
             raise ValueError(
                 f"unknown cost_mode {cost_mode!r}; expected one of {COST_MODES}"
             )
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self.shard_by = shard_by
+        self.epoch_length = epoch_length
+        self.shard_mode = shard_mode
+        # The raw per-shard simulator configuration, forwarded verbatim to
+        # every shard's MultiStreamSimulator by the sharded runner.
+        self._shard_sim_kwargs = dict(
+            latency_model=latency_model,
+            energy_model=energy_model,
+            occupancy_resolution=occupancy_resolution,
+            max_merge_streams=max_merge_streams,
+            remap_policy=remap_policy,
+            retain_records=retain_records,
+            cost_mode=cost_mode,
+            kernel_factory=kernel_factory,
+            server_factory=server_factory,
+            cost_model_factory=cost_model_factory,
+        )
         self.platform = platform
         self.sources = list(sources)
         self.table = LayerCostTable(
@@ -723,7 +843,45 @@ class MultiStreamSimulator:
             rebound.add(id(model))
 
     def run(self, trace: Optional[KernelTrace] = None) -> MultiStreamReport:
-        """Simulate all streams to completion and return the traffic report."""
+        """Simulate all streams to completion and return the traffic report.
+
+        With ``shards > 1`` the fleet is partitioned and run through the
+        epoch-synced sharded runtime (:mod:`repro.runtime.shard`); the
+        single-shard path below is untouched, so ``shards=1`` is
+        bit-identical to the pre-sharding kernel.
+        """
+        if self.shards > 1:
+            if trace is not None:
+                raise ValueError(
+                    "tracing is not supported with shards > 1: each shard "
+                    "runs its own kernel and traces do not compose; run "
+                    "shards=1 (or trace a shard's fleet separately) instead"
+                )
+            from .shard import ShardedSimulator  # local: shard imports streams
+
+            return ShardedSimulator(
+                self.platform,
+                self.sources,
+                shards=self.shards,
+                shard_by=self.shard_by,
+                epoch_length=self.epoch_length,
+                mode=self.shard_mode,
+                **self._shard_sim_kwargs,
+            ).run()
+        kernel, clients, remaps_before = self._setup(trace)
+        end_time = kernel.run()
+        return self._finalize(kernel, clients, remaps_before, trace, end_time)
+
+    def _setup(
+        self, trace: Optional[KernelTrace] = None
+    ) -> Tuple[SimulationKernel, List[StreamClient], int]:
+        """Build the kernel, servers and clients and prime every stream.
+
+        Split out of :meth:`run` so the sharded runtime can drive the primed
+        kernel epoch by epoch (``kernel.run(until=...)``) with exactly the
+        construction sequence — and therefore exactly the event ordering —
+        of the single-process path.
+        """
         kernel = self.kernel_factory(trace=trace)
         cost_models: Dict[tuple, NetworkCostModel] = {}
         servers: Dict[tuple, SignatureServer] = {}
@@ -769,7 +927,17 @@ class MultiStreamSimulator:
             self._schedule_remap_triggers(kernel)
         for client in clients:
             client.prime()
-        end_time = kernel.run()
+        return kernel, clients, remaps_before
+
+    def _finalize(
+        self,
+        kernel: SimulationKernel,
+        clients: List[StreamClient],
+        remaps_before: int,
+        trace: Optional[KernelTrace],
+        end_time: float,
+    ) -> MultiStreamReport:
+        """Assemble the traffic report of a fully drained kernel."""
         remaps = (
             list(self.remap_client.records[remaps_before:])
             if self.remap_client is not None

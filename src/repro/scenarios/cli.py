@@ -16,6 +16,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 from typing import List, Optional
 
 from ..experiments.common import format_table
@@ -72,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--policy", default="batched", choices=sorted(BUILTIN_POLICIES)
     )
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="worker shards for the simulation (default: the policy's, i.e. 1)",
+    )
     _add_spec_options(run)
 
     sweep = sub.add_parser("sweep", help="run a scenario/platform/policy grid")
@@ -91,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"comma-separated policy names ({', '.join(sorted(BUILTIN_POLICIES))})",
     )
     sweep.add_argument("--workers", type=int, default=1, help="worker processes")
+    sweep.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="worker shards per simulated cell (recorded in rows and cache keys)",
+    )
     sweep.add_argument("--cache-dir", default=None, help="on-disk result cache")
     sweep.add_argument(
         "--force", action="store_true", help="re-simulate cells even when cached"
@@ -110,6 +123,13 @@ def _cmd_list() -> int:
     return 0
 
 
+def _policy(name: str, shards: Optional[int]) -> "SweepPolicy":
+    policy = BUILTIN_POLICIES[name]
+    if shards is not None:
+        policy = dataclasses.replace(policy, shards=shards)
+    return policy
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     registry = default_registry()
     spec = registry.resolve(args.name, **_spec_overrides(args))
@@ -117,7 +137,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # of a sweep row's (scenario, platform, policy) reproduces it exactly —
     # including policies that force an optimization level.
     cell = SweepCell(
-        scenario=spec, platform=args.platform, policy=BUILTIN_POLICIES[args.policy]
+        scenario=spec, platform=args.platform, policy=_policy(args.policy, args.shards)
     )
     row = simulate_cell(cell)
     print(
@@ -159,7 +179,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cells = sweep_grid(
         scenarios,
         platforms=tuple(args.platforms.split(",")),
-        policies=tuple(args.policies.split(",")),
+        policies=tuple(
+            _policy(name, args.shards) for name in args.policies.split(",")
+        ),
         **_spec_overrides(args),
     )
     runner = SweepRunner(cache_dir=args.cache_dir, workers=args.workers)

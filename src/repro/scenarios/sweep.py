@@ -69,7 +69,9 @@ PLATFORMS = {
 # sweep policy costs each stream with a propagated per-layer occupancy
 # profile (cost_mode="profile") instead of the flat scalar path, and
 # same-family streams share rendered sequences through a seed pool.
-_CACHE_SALT = "scenario-sweep-v3"
+# v4: policies gain a ``shards`` axis (sharded runtime) and rows record it;
+# cells cached by unsharded runs must not alias sharded ones.
+_CACHE_SALT = "scenario-sweep-v4"
 
 
 @dataclass(frozen=True)
@@ -93,6 +95,11 @@ class SweepPolicy:
         Sweeps default to ``"profile"`` — per-layer occupancy propagation,
         the mode faithful to the paper's sparsity model; ``"flat"``
         selects the pre-profile scalar path (the ``flat_costs`` built-in).
+    shards:
+        Shard count handed to :class:`MultiStreamSimulator` (1 = the
+        single-process kernel; >1 partitions the fleet by signature across
+        epoch-synced shards, see :mod:`repro.runtime.shard`).  Inside pool
+        workers the shards run inline — daemonic workers cannot fork.
     """
 
     name: str
@@ -100,6 +107,7 @@ class SweepPolicy:
     occupancy_resolution: Optional[float] = 1.0 / 64.0
     optimization: Optional[str] = None
     cost_mode: str = "profile"
+    shards: int = 1
 
     def to_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -219,6 +227,7 @@ def simulate_cell(cell: SweepCell) -> Dict[str, object]:
         occupancy_resolution=cell.policy.occupancy_resolution,
         max_merge_streams=cell.policy.max_merge_streams,
         cost_mode=cell.policy.cost_mode,
+        shards=cell.policy.shards,
     )
     report = simulator.run()
     return {
@@ -227,6 +236,7 @@ def simulate_cell(cell: SweepCell) -> Dict[str, object]:
         "platform": cell.platform,
         "policy": cell.policy.name,
         "cost_mode": report.cost_mode,
+        "shards": report.shards,
         "hash": cell.content_hash(),
         "seed": cell.workload_seed,
         "num_streams": report.num_streams,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import pytest
@@ -243,6 +244,35 @@ class TestSweep:
         assert strip(parallel.rows) == strip(serial.rows)
         assert parallel.workers == 2
 
+    def test_policy_shards_recorded_and_cache_distinct(self):
+        spec = default_registry().resolve("mixed_fleet", **SMALL)
+        unsharded = SweepCell(spec)
+        sharded = SweepCell(
+            spec, policy=dataclasses.replace(unsharded.policy, shards=2)
+        )
+        # The shard count is part of the cell's cache identity: rows cached
+        # by unsharded runs must never alias sharded ones.
+        assert unsharded.content_hash() != sharded.content_hash()
+        row = simulate_cell(sharded)
+        assert row["shards"] == 2
+        assert simulate_cell(unsharded)["shards"] == 1
+
+    def test_sharded_cells_run_inside_pool_workers(self, tmp_path):
+        # Daemonic pool workers cannot fork shard processes; the sharded
+        # simulator must fall back to the inline protocol and still match
+        # a serial run of the same cells bit-for-bit.
+        policy = dataclasses.replace(
+            BUILTIN_POLICIES["batched"], name="batched2", shards=2
+        )
+        cells = self._cells(policies=(policy,), scenarios=("mixed_fleet",))
+        serial = SweepRunner(workers=1).run(cells)
+        parallel = SweepRunner(cache_dir=tmp_path / "cache", workers=2).run(cells)
+        strip = lambda rows: [
+            {k: v for k, v in r.items() if k != "from_cache"} for r in rows
+        ]
+        assert strip(parallel.rows) == strip(serial.rows)
+        assert all(row["shards"] == 2 for row in serial.rows)
+
 
 class TestCLI:
     def test_list(self, capsys):
@@ -259,6 +289,20 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "scenario steady" in out
         assert "steady:00" in out
+
+    def test_run_with_shards(self, capsys):
+        code = scenarios_cli(
+            [
+                "run", "mixed_fleet",
+                "--shards", "2",
+                "--streams", "4",
+                "--duration", "0.25",
+                "--scale", "0.1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario mixed_fleet" in out
 
     def test_sweep_with_cache(self, capsys, tmp_path):
         args = [
