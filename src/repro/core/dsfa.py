@@ -28,6 +28,7 @@ from enum import Enum
 from typing import Deque, List, Optional
 
 from ..frames.sparse import SparseFrame, SparseFrameBatch
+from ..frames.stack import FrameStack
 
 __all__ = ["MergeMode", "BucketStatus", "MergeBucket", "DSFAConfig", "DynamicSparseFrameAggregator"]
 
@@ -130,8 +131,8 @@ class MergeBucket:
         if not self.frames:
             raise RuntimeError("cannot merge an empty bucket")
         if mode is MergeMode.ADD or mode is MergeMode.BATCH:
-            return SparseFrame.add(self.frames)
-        return SparseFrame.average(self.frames)
+            return FrameStack.segment_add(self.frames)
+        return FrameStack.segment_average(self.frames)
 
 
 @dataclass(frozen=True)
@@ -189,6 +190,10 @@ class DynamicSparseFrameAggregator:
         )
         self.discarded_frames = 0
         self.dispatched_batches = 0
+        # Running buffered-frame count: every _place adds exactly one frame
+        # and _dispatch drains every bucket, so the counter is O(1) per push
+        # instead of re-summing all bucket occupancies.
+        self._buffered_frames = 0
 
     # ------------------------------------------------------------------
     # state inspection
@@ -196,7 +201,7 @@ class DynamicSparseFrameAggregator:
     @property
     def buffer_occupancy(self) -> int:
         """Total frames currently buffered across all merge buckets."""
-        return sum(b.occupancy for b in self._buckets)
+        return self._buffered_frames
 
     @property
     def num_buckets(self) -> int:
@@ -242,6 +247,7 @@ class DynamicSparseFrameAggregator:
     # ------------------------------------------------------------------
     def _place(self, frame: SparseFrame) -> None:
         cfg = self.config
+        self._buffered_frames += 1
         if cfg.merge_mode is MergeMode.BATCH:
             # cBatch: every generated frame goes into a fresh bucket.
             bucket = MergeBucket(capacity=1)
@@ -260,7 +266,16 @@ class DynamicSparseFrameAggregator:
         self._buckets.append(bucket)
 
     def _dispatch(self) -> SparseFrameBatch:
-        merged = [bucket.merge(self.config.merge_mode) for bucket in self._buckets if bucket.frames]
+        # All buckets of the dispatch merge in one segmented grouped-reduce
+        # pass (bit-identical to per-bucket MergeBucket.merge calls).
+        groups = [bucket.frames for bucket in self._buckets if bucket.frames]
+        if groups:
+            merged_stack = FrameStack.merge_groups(
+                groups, average=self.config.merge_mode is MergeMode.AVERAGE
+            )
+            merged = merged_stack.frames()
+        else:
+            merged = []
         batch = SparseFrameBatch(merged)
         if len(self._inference_queue) == self._inference_queue.maxlen:
             # The earliest pending batch is discarded (stale data).
@@ -268,6 +283,7 @@ class DynamicSparseFrameAggregator:
             self.discarded_frames += len(dropped)
         self._inference_queue.append(batch)
         self._buckets = []
+        self._buffered_frames = 0
         self.dispatched_batches += 1
         return batch
 

@@ -28,7 +28,8 @@ import numpy as np
 from ..events.types import EventStream
 from ..frames.dense import assign_event_bins
 from ..frames.encoding import ConversionCost, encode_cost, events_to_sparse_cost
-from ..frames.sparse import SparseFrame
+from ..frames.sparse import SparseFrame, _grouped_reduce
+from ..frames.stack import FrameStack
 
 __all__ = ["E2SFReport", "Event2SparseFrameConverter"]
 
@@ -140,7 +141,11 @@ class Event2SparseFrameConverter:
     ) -> List[List[SparseFrame]]:
         """Convert every consecutive grayscale-frame interval of a recording.
 
-        Returns one list of ``num_bins`` sparse frames per interval.
+        Returns one list of ``num_bins`` sparse frames per interval.  This
+        is the per-interval × per-bin loop path, kept alive as the
+        equivalence oracle for :meth:`convert_stack` (the
+        :mod:`repro.runtime.legacy` pattern): the stack path must produce
+        bit-identical frames.
         """
         timestamps = list(frame_timestamps)
         if len(timestamps) < 2:
@@ -149,6 +154,102 @@ class Event2SparseFrameConverter:
             self.convert(stream, timestamps[i], timestamps[i + 1])
             for i in range(len(timestamps) - 1)
         ]
+
+    def convert_stack(
+        self,
+        stream: EventStream,
+        frame_timestamps: Sequence[float],
+    ) -> FrameStack:
+        """Bin an entire recording into one columnar :class:`FrameStack`.
+
+        One pass replaces the per-interval × per-bin loop of
+        :meth:`convert_sequence`: every event gets an ``(interval, bin,
+        pixel)`` key, a single stable sort groups the whole recording, and
+        segmented reductions accumulate the two polarity channels.  The
+        resulting stack holds ``num_intervals * num_bins`` frames in
+        interval-major order — empty bins included — with the same time
+        bounds, canonical (ascending-pixel) site order and accumulated
+        values as the loop path, bit for bit.
+        """
+        timestamps = np.asarray(frame_timestamps, dtype=np.float64)
+        if timestamps.ndim != 1 or timestamps.size < 2:
+            raise ValueError("at least two grayscale frame timestamps are required")
+        if np.any(np.diff(timestamps) <= 0):
+            raise ValueError("frame timestamps must be strictly increasing")
+        num_bins = self.num_bins
+        num_intervals = timestamps.size - 1
+        num_frames = num_intervals * num_bins
+        geometry = stream.geometry
+        h, w = geometry.height, geometry.width
+        num_pixels = h * w
+
+        # Per-frame time bounds, identical arithmetic to the loop path:
+        # t_start + k * ((t_end - t_start) / num_bins) per interval.
+        frame_idx = np.arange(num_frames, dtype=np.int64)
+        interval_of_frame = frame_idx // num_bins
+        bin_of_frame = frame_idx % num_bins
+        interval_start = timestamps[interval_of_frame]
+        bin_duration = (
+            timestamps[interval_of_frame + 1] - interval_start
+        ) / num_bins
+        t_starts = interval_start + bin_of_frame * bin_duration
+        t_ends = interval_start + (bin_of_frame + 1) * bin_duration
+
+        # Events inside [timestamps[0], timestamps[-1]) — the union of the
+        # per-interval slice_time windows.
+        lo = int(np.searchsorted(stream.t, timestamps[0], side="left"))
+        hi = int(np.searchsorted(stream.t, timestamps[-1], side="left"))
+        t = stream.t[lo:hi]
+        if t.size == 0:
+            return FrameStack(
+                np.zeros(0, dtype=np.int32),
+                np.zeros(0, dtype=np.int32),
+                np.zeros(0, dtype=np.float64),
+                np.zeros(0, dtype=np.float64),
+                np.zeros(num_frames + 1, dtype=np.int64),
+                t_starts,
+                t_ends,
+                h,
+                w,
+            )
+        x = stream.x[lo:hi]
+        y = stream.y[lo:hi]
+        p = stream.p[lo:hi]
+
+        # (interval, bin, pixel) key per event.  An event exactly at a
+        # grayscale timestamp opens the next interval (slice_time is
+        # half-open), and the bin expression is elementwise-identical to
+        # assign_event_bins' floor/clip.
+        interval = np.searchsorted(timestamps, t, side="right") - 1
+        t0 = timestamps[interval]
+        bis = (timestamps[interval + 1] - t0) / num_bins
+        bins = np.clip(
+            np.floor((t - t0) / bis).astype(np.int64), 0, num_bins - 1
+        )
+        pixel = y.astype(np.int64) * w + x
+        key = (interval * num_bins + bins) * num_pixels + pixel
+
+        unique_key, pos, neg = _grouped_reduce(
+            key,
+            (p > 0).astype(np.float64),
+            (p < 0).astype(np.float64),
+        )
+        unique_frame = unique_key // num_pixels
+        unique_pixel = unique_key - unique_frame * num_pixels
+        offsets = np.zeros(num_frames + 1, dtype=np.int64)
+        np.cumsum(np.bincount(unique_frame, minlength=num_frames), out=offsets[1:])
+        return FrameStack._view(
+            (unique_pixel // w).astype(np.int32),
+            (unique_pixel % w).astype(np.int32),
+            pos,
+            neg,
+            offsets,
+            t_starts,
+            t_ends,
+            h,
+            w,
+            flat=unique_pixel,
+        )
 
     def input_occupancies(self, frames: Sequence[SparseFrame]) -> Tuple[float, ...]:
         """Per-bin input occupancies (spatial densities) of converted frames.

@@ -1,5 +1,6 @@
 """Event frame representations: dense frames, sparse COO frames and conversions."""
 
+from ._jit import HAS_NUMBA, jit_ifnumba
 from .dense import (
     assign_event_bins,
     bin_boundaries,
@@ -18,10 +19,16 @@ from .encoding import (
     sparse_to_dense,
 )
 from .sparse import SparseFrame, SparseFrameBatch
+from .stack import FrameStack, segment_add, segment_average
 
 __all__ = [
     "SparseFrame",
     "SparseFrameBatch",
+    "FrameStack",
+    "segment_add",
+    "segment_average",
+    "HAS_NUMBA",
+    "jit_ifnumba",
     "event_count_frame",
     "time_surface",
     "ev_flownet_frame",

@@ -13,11 +13,85 @@ Sparse Frame Aggregator needs: element-wise add, average, batching
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ._jit import HAS_NUMBA, jit_ifnumba
+
 __all__ = ["SparseFrame", "SparseFrameBatch"]
+
+
+@jit_ifnumba
+def _reduce_sorted_loop(sorted_flat, sorted_pos, sorted_neg, out_flat, out_pos, out_neg):
+    """One-pass duplicate reduction over key-sorted COO columns.
+
+    Only called when numba compiles it (see :data:`~repro.frames._jit.
+    HAS_NUMBA`); the numpy path below does the same reduction with
+    ``reduceat``.  Returns the number of unique keys written.
+    """
+    count = -1
+    last = np.int64(-1)
+    for i in range(sorted_flat.size):
+        key = sorted_flat[i]
+        if count < 0 or key != last:
+            count += 1
+            out_flat[count] = key
+            out_pos[count] = sorted_pos[i]
+            out_neg[count] = sorted_neg[i]
+            last = key
+        else:
+            out_pos[count] += sorted_pos[i]
+            out_neg[count] += sorted_neg[i]
+    return count + 1
+
+
+def _grouped_reduce(
+    flat: np.ndarray, pos: np.ndarray, neg: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sum ``pos``/``neg`` per duplicate key of ``flat``.
+
+    Returns ``(unique_keys, pos_sums, neg_sums)`` with keys ascending.  The
+    per-group accumulation is sequential in *input* order: the stable sort
+    only labels the groups, and the sums themselves come from
+    ``np.bincount`` over the input-order group labels — exactly the
+    accumulation the ``np.unique`` + ``np.bincount`` reference path
+    (:meth:`SparseFrame.add_reference`) performs, so the kernel is
+    bit-identical to it for arbitrary float values.  (``np.add.reduceat``
+    would not be: it sums pairwise above eight elements.)  This is the
+    shared grouped-reduce kernel of the columnar data plane: one argsort
+    plus sequential bincounts instead of a ``unique``/``bincount``/divmod
+    round trip per merge.
+    """
+    if flat.size == 0:
+        empty = np.zeros(0, dtype=np.float64)
+        return flat.astype(np.int64, copy=False), empty, empty
+    order = np.argsort(flat, kind="stable")
+    sorted_flat = flat[order]
+    if HAS_NUMBA:  # pragma: no cover - numba-only branch
+        sorted_pos = pos[order]
+        sorted_neg = neg[order]
+        out_flat = np.empty(sorted_flat.size, dtype=np.int64)
+        out_pos = np.empty(sorted_flat.size, dtype=np.float64)
+        out_neg = np.empty(sorted_flat.size, dtype=np.float64)
+        count = _reduce_sorted_loop(
+            sorted_flat, sorted_pos, sorted_neg, out_flat, out_pos, out_neg
+        )
+        return out_flat[:count], out_pos[:count], out_neg[:count]
+    boundary = np.empty(sorted_flat.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_flat[1:], sorted_flat[:-1], out=boundary[1:])
+    group_sorted = np.cumsum(boundary) - 1
+    # Scatter the group labels back to input positions so bincount
+    # accumulates each group's weights in input order.
+    group = np.empty_like(group_sorted)
+    group[order] = group_sorted
+    num_groups = int(group_sorted[-1]) + 1
+    return (
+        sorted_flat[boundary],
+        np.bincount(group, weights=pos, minlength=num_groups),
+        np.bincount(group, weights=neg, minlength=num_groups),
+    )
 
 
 class SparseFrame:
@@ -40,7 +114,17 @@ class SparseFrame:
     produces fractional counts) is exact.
     """
 
-    __slots__ = ("rows", "cols", "pos", "neg", "height", "width", "t_start", "t_end")
+    __slots__ = (
+        "rows",
+        "cols",
+        "pos",
+        "neg",
+        "height",
+        "width",
+        "t_start",
+        "t_end",
+        "_flat",
+    )
 
     def __init__(
         self,
@@ -76,6 +160,51 @@ class SparseFrame:
         self.width = int(width)
         self.t_start = float(t_start)
         self.t_end = float(t_end)
+        self._flat = None
+
+    @classmethod
+    def _view(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        pos: np.ndarray,
+        neg: np.ndarray,
+        height: int,
+        width: int,
+        t_start: float,
+        t_end: float,
+        flat: Optional[np.ndarray] = None,
+    ) -> "SparseFrame":
+        """Zero-copy construction from already-validated column buffers.
+
+        Used by :class:`~repro.frames.stack.FrameStack` slices and the merge
+        kernels, whose buffers were bounds-checked once at stack build time;
+        re-validating per frame would reintroduce the per-frame overhead the
+        columnar plane removes.  ``flat`` optionally seeds the
+        :meth:`flat_keys` cache.
+        """
+        frame = cls.__new__(cls)
+        frame.rows = rows
+        frame.cols = cols
+        frame.pos = pos
+        frame.neg = neg
+        frame.height = int(height)
+        frame.width = int(width)
+        frame.t_start = float(t_start)
+        frame.t_end = float(t_end)
+        frame._flat = flat
+        return frame
+
+    def flat_keys(self) -> np.ndarray:
+        """Flattened ``row * width + col`` pixel keys (int64), cached.
+
+        Frames sliced out of a :class:`~repro.frames.stack.FrameStack`
+        inherit their slice of the stack's key buffer, so merge kernels on
+        the fleet hot path never recompute (or re-allocate) the keys.
+        """
+        if self._flat is None:
+            self._flat = self.rows.astype(np.int64) * self.width + self.cols
+        return self._flat
 
     # ------------------------------------------------------------------
     # constructors
@@ -107,6 +236,11 @@ class SparseFrame:
         x = np.asarray(x, dtype=np.int64)
         y = np.asarray(y, dtype=np.int64)
         p = np.asarray(p)
+        if np.any(p == 0):
+            # A zero polarity would accumulate into neither channel and the
+            # event would silently vanish from the frame; AER polarities are
+            # strictly +1 / -1, so reject instead of dropping.
+            raise ValueError("polarities must be non-zero (+1 or -1)")
         if x.size == 0:
             return cls.empty(height, width, t_start, t_end)
         flat = y * width + x
@@ -196,11 +330,12 @@ class SparseFrame:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SparseFrame):
             return NotImplemented
-        return (
-            self.height == other.height
-            and self.width == other.width
-            and np.array_equal(self._canonical()[0], other._canonical()[0])
-            and np.allclose(self._canonical()[1], other._canonical()[1])
+        if self.height != other.height or self.width != other.width:
+            return False
+        self_flat, self_values = self._canonical()
+        other_flat, other_values = other._canonical()
+        return np.array_equal(self_flat, other_flat) and np.allclose(
+            self_values, other_values
         )
 
     def _canonical(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -214,11 +349,58 @@ class SparseFrame:
     # conversions
     # ------------------------------------------------------------------
     def to_dense(self) -> np.ndarray:
-        """Decode into a dense ``(2, H, W)`` array."""
+        """Decode into a dense ``(2, H, W)`` array.
+
+        A flat ``np.bincount`` scatter per channel: duplicate coordinates
+        accumulate exactly as the ``np.add.at`` reference path
+        (:meth:`to_dense_reference`), in input order, but without the
+        notoriously slow buffered ``ufunc.at`` dispatch.
+        """
+        size = self.height * self.width
+        flat = self.flat_keys()
+        dense = np.empty((2, self.height, self.width), dtype=np.float64)
+        dense[0] = np.bincount(flat, weights=self.pos, minlength=size).reshape(
+            self.height, self.width
+        )
+        dense[1] = np.bincount(flat, weights=self.neg, minlength=size).reshape(
+            self.height, self.width
+        )
+        return dense
+
+    def to_dense_reference(self) -> np.ndarray:
+        """The pre-columnar ``np.add.at`` decode, kept as equivalence oracle."""
         dense = np.zeros((2, self.height, self.width), dtype=np.float64)
         np.add.at(dense[0], (self.rows, self.cols), self.pos)
         np.add.at(dense[1], (self.rows, self.cols), self.neg)
         return dense
+
+    def __getstate__(self):
+        # The flat-key cache is derived data (and may alias a whole
+        # FrameStack buffer) — rebuild it lazily on the other side instead
+        # of shipping it through worker pipes.
+        return (
+            self.rows,
+            self.cols,
+            self.pos,
+            self.neg,
+            self.height,
+            self.width,
+            self.t_start,
+            self.t_end,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.rows,
+            self.cols,
+            self.pos,
+            self.neg,
+            self.height,
+            self.width,
+            self.t_start,
+            self.t_end,
+        ) = state
+        self._flat = None
 
     def copy(self) -> "SparseFrame":
         """Deep copy."""
@@ -259,7 +441,53 @@ class SparseFrame:
     # ------------------------------------------------------------------
     @staticmethod
     def add(frames: Sequence["SparseFrame"]) -> "SparseFrame":
-        """Element-wise sum of several sparse frames (``cAdd`` mode)."""
+        """Element-wise sum of several sparse frames (``cAdd`` mode).
+
+        Runs the grouped-reduce merge kernel of the columnar data plane:
+        cached flat pixel keys (free for frames sliced out of a
+        :class:`~repro.frames.stack.FrameStack`), one stable argsort and
+        segmented reductions — no per-frame ``astype`` copies, no
+        ``np.unique`` inverse construction, no divmod over the merged
+        support.  Bit-identical to :meth:`add_reference` (kept as the
+        equivalence oracle).
+        """
+        frames = list(frames)
+        if not frames:
+            raise ValueError("cannot add an empty list of frames")
+        h, w = frames[0].height, frames[0].width
+        for f in frames[1:]:
+            if (f.height, f.width) != (h, w):
+                raise ValueError("all frames must share the same dimensions")
+        if len(frames) == 1:
+            flat = frames[0].flat_keys()
+            pos = frames[0].pos
+            neg = frames[0].neg
+        else:
+            flat = np.concatenate([f.flat_keys() for f in frames])
+            pos = np.concatenate([f.pos for f in frames])
+            neg = np.concatenate([f.neg for f in frames])
+        unique_flat, pos_sum, neg_sum = _grouped_reduce(flat, pos, neg)
+        return SparseFrame._view(
+            (unique_flat // w).astype(np.int32),
+            (unique_flat % w).astype(np.int32),
+            pos_sum,
+            neg_sum,
+            h,
+            w,
+            min(f.t_start for f in frames),
+            max(f.t_end for f in frames),
+            flat=unique_flat,
+        )
+
+    @staticmethod
+    def add_reference(frames: Sequence["SparseFrame"]) -> "SparseFrame":
+        """The pre-columnar ``np.unique``-based cAdd merge.
+
+        Deliberately unoptimized code kept alive as the equivalence oracle
+        for :meth:`add` (the :mod:`repro.runtime.legacy` pattern):
+        ``benchmarks/bench_dataplane.py`` measures the merge speedup against
+        it and the frame tests assert bit-identical output.
+        """
         frames = list(frames)
         if not frames:
             raise ValueError("cannot add an empty list of frames")

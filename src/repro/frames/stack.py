@@ -1,0 +1,358 @@
+"""Columnar COO frame stacks: many sparse frames in one set of buffers.
+
+The per-frame data plane allocates four small numpy arrays per
+``SparseFrame`` — thousands of tiny allocations per compiled stream at fleet
+scale, plus a Python property walk per density query.  A :class:`FrameStack`
+stores an entire rendering (every ``(interval, bin)`` of a recording, or
+every merged bucket of a DSFA dispatch) as **one** contiguous set of
+``rows/cols/pos/neg`` buffers with a CSR-style ``offsets`` array over
+frames, per-frame ``t_starts``/``t_ends`` columns, and a cached flat
+pixel-key buffer shared by every sliced frame view.
+
+Operations on the stack are vectorised across frames:
+
+* :meth:`FrameStack.densities` — all per-frame spatial densities from one
+  ``np.diff`` over ``offsets`` (no per-frame property walks);
+* :meth:`FrameStack.frame` — a zero-copy :class:`~repro.frames.sparse.
+  SparseFrame` view over the buffers (buffer slices share memory with the
+  stack and carry their slice of the key cache);
+* :meth:`FrameStack.merge_groups` — the segmented merge kernel behind DSFA
+  dispatches: merges *all* buckets of a dispatch in one grouped-reduce pass
+  instead of one ``np.unique`` round trip per bucket;
+* :func:`segment_add` / :func:`segment_average` — single-group wrappers, the
+  allocation-lean path behind :meth:`SparseFrame.add` /
+  :meth:`SparseFrame.average`.
+
+All kernels are bit-identical to the per-frame reference path (stable sort,
+input-order accumulation; see :func:`~repro.frames.sparse._grouped_reduce`)
+and run pure numpy — numba, when present, accelerates the inner reduction
+through :mod:`repro.frames._jit`, but is never required.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .sparse import SparseFrame, _grouped_reduce
+
+__all__ = ["FrameStack", "segment_add", "segment_average"]
+
+
+class FrameStack:
+    """A sequence of same-geometry sparse frames in contiguous COO buffers.
+
+    Parameters
+    ----------
+    rows, cols, pos, neg:
+        Concatenated COO columns of every frame, frame-major (frame ``i``
+        occupies ``[offsets[i], offsets[i+1])``).
+    offsets:
+        CSR-style int64 array of length ``num_frames + 1`` with
+        ``offsets[0] == 0`` and ``offsets[-1] == rows.size``.
+    t_starts, t_ends:
+        Per-frame time bounds (float64, length ``num_frames``).
+    height, width:
+        Shared dense frame dimensions.
+    flat:
+        Optional precomputed ``row * width + col`` keys (int64, same length
+        as ``rows``); computed lazily when omitted.
+    """
+
+    __slots__ = (
+        "rows",
+        "cols",
+        "pos",
+        "neg",
+        "offsets",
+        "t_starts",
+        "t_ends",
+        "height",
+        "width",
+        "_flat",
+    )
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        pos: np.ndarray,
+        neg: np.ndarray,
+        offsets: np.ndarray,
+        t_starts: np.ndarray,
+        t_ends: np.ndarray,
+        height: int,
+        width: int,
+        flat: Optional[np.ndarray] = None,
+    ) -> None:
+        rows = np.asarray(rows, dtype=np.int32)
+        cols = np.asarray(cols, dtype=np.int32)
+        pos = np.asarray(pos, dtype=np.float64)
+        neg = np.asarray(neg, dtype=np.float64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        t_starts = np.asarray(t_starts, dtype=np.float64)
+        t_ends = np.asarray(t_ends, dtype=np.float64)
+        if not (rows.shape == cols.shape == pos.shape == neg.shape):
+            raise ValueError("rows, cols, pos, neg must have identical shapes")
+        if rows.ndim != 1:
+            raise ValueError("stack columns must be one-dimensional")
+        if height <= 0 or width <= 0:
+            raise ValueError("frame dimensions must be positive")
+        if offsets.ndim != 1 or offsets.size < 1:
+            raise ValueError("offsets must be a non-empty one-dimensional array")
+        if offsets[0] != 0 or offsets[-1] != rows.size:
+            raise ValueError("offsets must start at 0 and end at the buffer length")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        if not (t_starts.shape == t_ends.shape == (offsets.size - 1,)):
+            raise ValueError("t_starts/t_ends must have one entry per frame")
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= height:
+                raise ValueError("row indices out of bounds")
+            if cols.min() < 0 or cols.max() >= width:
+                raise ValueError("column indices out of bounds")
+        self.rows = rows
+        self.cols = cols
+        self.pos = pos
+        self.neg = neg
+        self.offsets = offsets
+        self.t_starts = t_starts
+        self.t_ends = t_ends
+        self.height = int(height)
+        self.width = int(width)
+        self._flat = None if flat is None else np.asarray(flat, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def _view(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        pos: np.ndarray,
+        neg: np.ndarray,
+        offsets: np.ndarray,
+        t_starts: np.ndarray,
+        t_ends: np.ndarray,
+        height: int,
+        width: int,
+        flat: Optional[np.ndarray] = None,
+    ) -> "FrameStack":
+        """Trusted constructor: adopt kernel-produced buffers without
+        re-validating them (the kernels guarantee the invariants)."""
+        stack = cls.__new__(cls)
+        stack.rows = rows
+        stack.cols = cols
+        stack.pos = pos
+        stack.neg = neg
+        stack.offsets = offsets
+        stack.t_starts = t_starts
+        stack.t_ends = t_ends
+        stack.height = height
+        stack.width = width
+        stack._flat = flat
+        return stack
+
+    @classmethod
+    def from_frames(cls, frames: Sequence[SparseFrame]) -> "FrameStack":
+        """Pack existing sparse frames into one contiguous stack."""
+        frames = list(frames)
+        if not frames:
+            raise ValueError("cannot build a stack from an empty frame list")
+        h, w = frames[0].height, frames[0].width
+        for f in frames[1:]:
+            if (f.height, f.width) != (h, w):
+                raise ValueError("all frames must share the same dimensions")
+        offsets = np.zeros(len(frames) + 1, dtype=np.int64)
+        np.cumsum([f.num_active for f in frames], out=offsets[1:])
+        return cls(
+            np.concatenate([f.rows for f in frames]),
+            np.concatenate([f.cols for f in frames]),
+            np.concatenate([f.pos for f in frames]),
+            np.concatenate([f.neg for f in frames]),
+            offsets,
+            np.array([f.t_start for f in frames], dtype=np.float64),
+            np.array([f.t_end for f in frames], dtype=np.float64),
+            h,
+            w,
+        )
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_frames(self) -> int:
+        """Number of frames in the stack."""
+        return int(self.offsets.size - 1)
+
+    def __len__(self) -> int:
+        return self.num_frames
+
+    def __iter__(self):
+        for i in range(self.num_frames):
+            yield self.frame(i)
+
+    def __repr__(self) -> str:
+        return (
+            f"FrameStack({self.num_frames} frames, {self.height}x{self.width}, "
+            f"nnz={self.rows.size})"
+        )
+
+    @property
+    def total_active(self) -> int:
+        """Total active sites across every frame."""
+        return int(self.rows.size)
+
+    def flat_buffer(self) -> np.ndarray:
+        """The (cached) flat ``row * width + col`` key buffer."""
+        if self._flat is None:
+            self._flat = self.rows.astype(np.int64) * self.width + self.cols
+        return self._flat
+
+    # ------------------------------------------------------------------
+    # vectorised per-frame queries
+    # ------------------------------------------------------------------
+    def nnz_counts(self) -> np.ndarray:
+        """Active sites per frame (int64), one ``np.diff`` over ``offsets``."""
+        return np.diff(self.offsets)
+
+    def densities(self) -> np.ndarray:
+        """Per-frame spatial densities, vectorised.
+
+        Equals ``[stack.frame(i).density for i in range(len(stack))]``
+        without materialising a frame view per entry.
+        """
+        return self.nnz_counts() / float(self.height * self.width)
+
+    def event_counts(self) -> np.ndarray:
+        """Per-frame accumulated event counts (``pos + neg``), vectorised."""
+        counts = np.zeros(self.num_frames, dtype=np.float64)
+        if self.rows.size:
+            starts = self.offsets[:-1]
+            occupied = np.flatnonzero(np.diff(self.offsets) > 0)
+            # reduceat cannot express empty segments directly: reduce only
+            # the occupied frames and scatter the sums back.
+            totals = np.add.reduceat(self.pos + self.neg, starts[occupied])
+            counts[occupied] = totals
+        return counts
+
+    # ------------------------------------------------------------------
+    # frame views
+    # ------------------------------------------------------------------
+    def frame(self, index: int) -> SparseFrame:
+        """Zero-copy :class:`SparseFrame` view of frame ``index``.
+
+        The view's columns are slices of the stack buffers (shared memory)
+        and its flat-key cache is pre-seeded from the stack's key buffer.
+        """
+        if not 0 <= index < self.num_frames:
+            raise IndexError(f"frame index {index} out of range")
+        lo = int(self.offsets[index])
+        hi = int(self.offsets[index + 1])
+        return SparseFrame._view(
+            self.rows[lo:hi],
+            self.cols[lo:hi],
+            self.pos[lo:hi],
+            self.neg[lo:hi],
+            self.height,
+            self.width,
+            float(self.t_starts[index]),
+            float(self.t_ends[index]),
+            flat=self.flat_buffer()[lo:hi],
+        )
+
+    def frames(self) -> List[SparseFrame]:
+        """All frames as zero-copy views, in stack order."""
+        return [self.frame(i) for i in range(self.num_frames)]
+
+    # ------------------------------------------------------------------
+    # segmented merge kernels
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge_groups(
+        cls, groups: Sequence[Sequence[SparseFrame]], average: bool = False
+    ) -> "FrameStack":
+        """Merge every group of frames with cAdd (or cAverage) in one pass.
+
+        This is the DSFA dispatch kernel: instead of one concatenate +
+        ``np.unique`` round trip per merge bucket, the frames of *all*
+        buckets are reduced together — group index folded into the sort key
+        — and the merged frames come back as one stack (frame ``i`` is the
+        merge of ``groups[i]``).  Bit-identical to merging each group with
+        :meth:`SparseFrame.add` / :meth:`SparseFrame.average`: the grouped
+        reduction accumulates in input order and the per-group time bounds
+        are the same min/max.
+        """
+        groups = [list(group) for group in groups]
+        if not groups:
+            raise ValueError("cannot merge an empty list of groups")
+        if any(not group for group in groups):
+            raise ValueError("cannot merge an empty group")
+        first = groups[0][0]
+        h, w = first.height, first.width
+        for group in groups:
+            for f in group:
+                if (f.height, f.width) != (h, w):
+                    raise ValueError("all frames must share the same dimensions")
+        num_pixels = h * w
+        flat_parts: List[np.ndarray] = []
+        pos_parts: List[np.ndarray] = []
+        neg_parts: List[np.ndarray] = []
+        group_sizes = np.zeros(len(groups), dtype=np.int64)
+        for g, group in enumerate(groups):
+            size = 0
+            for f in group:
+                flat_parts.append(f.flat_keys())
+                pos_parts.append(f.pos)
+                neg_parts.append(f.neg)
+                size += f.num_active
+            group_sizes[g] = size
+        flat = np.concatenate(flat_parts)
+        pos = np.concatenate(pos_parts)
+        neg = np.concatenate(neg_parts)
+        segment = np.repeat(np.arange(len(groups), dtype=np.int64), group_sizes)
+        key = segment * num_pixels + flat
+        unique_key, pos_sum, neg_sum = _grouped_reduce(key, pos, neg)
+        unique_segment = unique_key // num_pixels
+        unique_flat = unique_key - unique_segment * num_pixels
+        if average:
+            # Same elementwise multiply as SparseFrame.scale(1.0 / n).
+            factors = np.array(
+                [1.0 / len(group) for group in groups], dtype=np.float64
+            )
+            per_entry = factors[unique_segment]
+            pos_sum = pos_sum * per_entry
+            neg_sum = neg_sum * per_entry
+        offsets = np.zeros(len(groups) + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(unique_segment, minlength=len(groups)), out=offsets[1:]
+        )
+        return cls._view(
+            (unique_flat // w).astype(np.int32),
+            (unique_flat % w).astype(np.int32),
+            pos_sum,
+            neg_sum,
+            offsets,
+            np.array([min(f.t_start for f in g) for g in groups], dtype=np.float64),
+            np.array([max(f.t_end for f in g) for g in groups], dtype=np.float64),
+            h,
+            w,
+            flat=unique_flat,
+        )
+
+    @staticmethod
+    def segment_add(frames: Sequence[SparseFrame]) -> SparseFrame:
+        """cAdd-merge one group of frames through the grouped-reduce kernel."""
+        return SparseFrame.add(frames)
+
+    @staticmethod
+    def segment_average(frames: Sequence[SparseFrame]) -> SparseFrame:
+        """cAverage-merge one group of frames through the grouped-reduce kernel."""
+        return SparseFrame.average(frames)
+
+
+# Module-level aliases for callers that want the kernel without the class.
+segment_add = FrameStack.segment_add
+segment_average = FrameStack.segment_average

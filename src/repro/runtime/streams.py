@@ -139,6 +139,13 @@ class StreamSource:
         ``stop_time`` are dropped at the source: a stream that has left the
         platform produces no traffic.
 
+        The whole recording renders through the one-pass columnar converter
+        (:meth:`~repro.core.e2sf.Event2SparseFrameConverter.convert_stack`):
+        one :class:`~repro.frames.stack.FrameStack` per stream, with each
+        dispatched frame a zero-copy view into the stack's buffers —
+        bit-identical to the per-interval loop kept in
+        :meth:`generate_frames_reference`.
+
         Rendering is a pure function of the (immutable) sequence and config,
         so the result is computed once and cached on the source: repeated
         simulations of the same fleet — sweeps, benchmarks, equivalence
@@ -147,6 +154,30 @@ class StreamSource:
         """
         if self._frames is not None:
             return self._frames
+        timestamps = self.sequence.frame_timestamps
+        out: List[Tuple[float, SparseFrame]] = []
+        if self.sequence.num_intervals > 0:
+            converter = Event2SparseFrameConverter(self.config.num_bins)
+            stack = converter.convert_stack(self.sequence.events, timestamps)
+            arrivals = stack.t_ends + self.start_offset
+            for i in range(len(stack)):
+                arrival = float(arrivals[i])
+                if self.stop_time is not None and arrival > self.stop_time:
+                    continue
+                out.append((arrival, stack.frame(i)))
+        self._frames = out
+        return out
+
+    def generate_frames_reference(self) -> List[Tuple[float, SparseFrame]]:
+        """The pre-columnar per-interval render loop, kept as the oracle.
+
+        Same protocol as :meth:`generate_frames` — one
+        :meth:`~repro.core.e2sf.Event2SparseFrameConverter.convert` call per
+        grayscale interval, one frame object per bin — uncached and
+        deliberately unoptimized (the :mod:`repro.runtime.legacy` pattern).
+        The equivalence tests assert the stack render is bit-identical;
+        ``benchmarks/bench_dataplane.py`` measures the speedup against it.
+        """
         converter = Event2SparseFrameConverter(self.config.num_bins)
         timestamps = self.sequence.frame_timestamps
         out: List[Tuple[float, SparseFrame]] = []
@@ -159,7 +190,6 @@ class StreamSource:
                 if self.stop_time is not None and arrival > self.stop_time:
                     continue
                 out.append((arrival, frame))
-        self._frames = out
         return out
 
     @property

@@ -218,6 +218,151 @@ class TestDSFA:
         assert dsfa.num_buckets == 2
 
 
+def frames_bit_identical(a, b):
+    return (
+        (a.height, a.width) == (b.height, b.width)
+        and a.t_start == b.t_start
+        and a.t_end == b.t_end
+        and np.array_equal(a.rows, b.rows)
+        and np.array_equal(a.cols, b.cols)
+        and np.array_equal(a.pos, b.pos)
+        and np.array_equal(a.neg, b.neg)
+    )
+
+
+class TestConvertStack:
+    """The one-pass columnar render must match the per-interval oracle bit for bit."""
+
+    def assert_stack_matches_oracle(self, stream, timestamps, num_bins):
+        converter = Event2SparseFrameConverter(num_bins)
+        stack = converter.convert_stack(stream, timestamps)
+        oracle = [
+            f for interval in converter.convert_sequence(stream, list(timestamps))
+            for f in interval
+        ]
+        assert len(stack) == len(oracle) == (len(timestamps) - 1) * num_bins
+        for i, (view, expected) in enumerate(zip(stack.frames(), oracle)):
+            assert frames_bit_identical(view, expected), f"frame {i}"
+
+    def test_matches_oracle_on_random_stream(self):
+        stream = make_stream(n=5000, seed=11)
+        self.assert_stack_matches_oracle(stream, np.linspace(0.0, 1.0, 9), 5)
+
+    def test_matches_oracle_irregular_timestamps(self):
+        # Uneven grayscale intervals give each interval its own bin duration.
+        stream = make_stream(n=3000, seed=12)
+        self.assert_stack_matches_oracle(
+            stream, np.array([0.0, 0.05, 0.3, 0.35, 0.9, 1.0]), 4
+        )
+
+    def test_matches_oracle_with_empty_intervals(self):
+        # No events at all in [2, 3): every frame of that interval is empty.
+        stream = make_stream(n=1000, seed=13, t_end=1.0)
+        self.assert_stack_matches_oracle(stream, np.array([0.0, 0.5, 2.0, 3.0]), 3)
+
+    def test_matches_oracle_on_boundary_events(self):
+        # Events exactly on grayscale timestamps must land in the interval
+        # the half-open slice_time window assigns them to.
+        geometry = SensorGeometry(width=16, height=16)
+        t = np.array([0.0, 0.1, 0.25, 0.25, 0.5, 0.75, 1.0])
+        stream = EventStream(
+            np.arange(len(t)) % 16, np.arange(len(t)) % 16,
+            t, np.where(np.arange(len(t)) % 2 == 0, 1, -1), geometry,
+        )
+        self.assert_stack_matches_oracle(stream, np.array([0.0, 0.25, 0.5, 1.0]), 2)
+
+    def test_matches_oracle_single_bin(self):
+        stream = make_stream(n=800, seed=14)
+        self.assert_stack_matches_oracle(stream, np.linspace(0.0, 1.0, 5), 1)
+
+    def test_matches_oracle_outside_recording(self):
+        # Window entirely after the last event: all frames empty, exact
+        # t bounds still required.
+        stream = make_stream(n=100, seed=15, t_end=1.0)
+        self.assert_stack_matches_oracle(stream, np.array([5.0, 5.5, 6.0]), 4)
+
+    def test_rejects_bad_timestamps(self):
+        stream = make_stream(n=10)
+        converter = Event2SparseFrameConverter(2)
+        with pytest.raises(ValueError):
+            converter.convert_stack(stream, [0.0])
+        with pytest.raises(ValueError):
+            converter.convert_stack(stream, [0.0, 0.5, 0.5])
+        with pytest.raises(ValueError):
+            converter.convert_stack(stream, [0.0, 0.5, 0.2])
+
+    def test_stack_frames_are_views(self):
+        stream = make_stream(n=2000, seed=16)
+        stack = Event2SparseFrameConverter(4).convert_stack(
+            stream, np.linspace(0.0, 1.0, 5)
+        )
+        dense_total = sum(f.num_events for f in stack.frames())
+        assert dense_total == pytest.approx(len(stream))
+        assert np.shares_memory(stack.frame(0).pos, stack.pos)
+
+
+class TestBufferOccupancyCounter:
+    def _recomputed(self, dsfa):
+        return sum(bucket.occupancy for bucket in dsfa._buckets)
+
+    @pytest.mark.parametrize("mode", list(MergeMode))
+    def test_counter_matches_recomputed_sum(self, mode):
+        config = DSFAConfig(
+            event_buffer_size=6,
+            merge_bucket_size=3,
+            merge_mode=mode,
+            max_time_delay=0.004,
+            max_density_change=0.3,
+        )
+        dsfa = DynamicSparseFrameAggregator(config)
+        for i in range(40):
+            frame = make_frame(
+                seed=i,
+                n=60 if i % 5 else 600,
+                t_start=i * 0.002,
+                t_end=(i + 1) * 0.002,
+            )
+            dsfa.push(frame, hardware_available=(i % 11 == 0))
+            assert dsfa.buffer_occupancy == self._recomputed(dsfa)
+        dsfa.flush()
+        assert dsfa.buffer_occupancy == self._recomputed(dsfa) == 0
+
+    def test_counter_resets_on_dispatch(self):
+        dsfa = DynamicSparseFrameAggregator(
+            DSFAConfig(event_buffer_size=2, merge_bucket_size=2)
+        )
+        dsfa.push(make_frame(0))
+        assert dsfa.buffer_occupancy == 1
+        batch = dsfa.push(make_frame(1, t_start=0.01, t_end=0.02))
+        assert batch is not None
+        assert dsfa.buffer_occupancy == 0
+
+
+class TestSegmentedDispatch:
+    @pytest.mark.parametrize("mode", list(MergeMode))
+    def test_dispatch_matches_per_bucket_merge(self, mode):
+        config = DSFAConfig(
+            event_buffer_size=12,
+            merge_bucket_size=4,
+            merge_mode=mode,
+            max_time_delay=0.003,
+            max_density_change=0.25,
+            inference_queue_depth=8,
+        )
+        dsfa = DynamicSparseFrameAggregator(config)
+        frames = [
+            make_frame(seed=i, n=80, t_start=i * 0.002, t_end=(i + 1) * 0.002)
+            for i in range(11)
+        ]
+        for frame in frames:
+            dsfa.push(frame)
+        expected = [bucket.merge(mode) for bucket in dsfa._buckets]
+        batch = dsfa.flush()
+        assert len(batch) == len(expected)
+        for merged, reference in zip(batch, expected):
+            assert frames_bit_identical(merged, reference)
+
+
 @settings(max_examples=20, deadline=None)
 @given(
     num_frames=st.integers(min_value=1, max_value=12),

@@ -170,6 +170,70 @@ class TestBatch:
         assert batch.num_events == 0.0
 
 
+class TestEquality:
+    def test_permuted_site_order_is_equal(self):
+        frame = random_sparse_frame(seed=5)
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(frame.num_active)
+        shuffled = SparseFrame(
+            frame.rows[perm], frame.cols[perm], frame.pos[perm], frame.neg[perm],
+            frame.height, frame.width, frame.t_start, frame.t_end,
+        )
+        assert shuffled == frame
+        assert frame == shuffled
+
+    def test_eq_canonicalizes_each_side_once(self, monkeypatch):
+        a = random_sparse_frame(seed=6)
+        b = random_sparse_frame(seed=6)
+        calls = {"n": 0}
+        original = SparseFrame._canonical
+
+        def counting(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(SparseFrame, "_canonical", counting)
+        assert a == b
+        assert calls["n"] == 2
+
+    def test_eq_differs_on_values_and_dims(self):
+        a = random_sparse_frame(seed=7)
+        assert a != a.scale(2.0)
+        assert a != random_sparse_frame(seed=7, h=12, w=64)
+        assert a != "not a frame"
+
+
+class TestToDense:
+    def test_matches_reference_on_duplicate_coordinates(self):
+        # Construction via SparseFrame() does not forbid duplicate sites;
+        # the bincount scatter must accumulate them exactly like np.add.at.
+        frame = SparseFrame(
+            [1, 1, 1, 2], [3, 3, 3, 0], [1.5, 2.0, 0.25, 1.0], [0.5, 0.0, 1.0, 0.0],
+            height=4, width=5,
+        )
+        assert np.array_equal(frame.to_dense(), frame.to_dense_reference())
+        assert frame.to_dense()[0, 1, 3] == 1.5 + 2.0 + 0.25
+
+    def test_matches_reference_on_random_frames(self):
+        for seed in range(5):
+            frame = random_sparse_frame(seed=seed)
+            assert np.array_equal(frame.to_dense(), frame.to_dense_reference())
+        empty = SparseFrame.empty(8, 8)
+        assert np.array_equal(empty.to_dense(), empty.to_dense_reference())
+
+
+class TestFromEventsValidation:
+    def test_zero_polarity_rejected(self):
+        # p == 0 events used to vanish silently (neither channel counted
+        # them); they must be rejected as malformed input instead.
+        with pytest.raises(ValueError):
+            SparseFrame.from_events([1, 2], [1, 2], [1, 0], 8, 8)
+
+    def test_nonzero_polarities_accepted(self):
+        frame = SparseFrame.from_events([1, 2], [1, 2], [2, -3], 8, 8)
+        assert frame.num_events == 2.0
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     seeds=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=5),

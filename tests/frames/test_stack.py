@@ -1,0 +1,252 @@
+"""Tests for the columnar FrameStack data plane and its segmented kernels."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.frames import HAS_NUMBA, FrameStack, SparseFrame, jit_ifnumba, segment_add, segment_average
+from repro.frames.sparse import _grouped_reduce
+
+
+def random_sparse_frame(seed=0, h=24, w=32, n_events=200, t_start=0.0, t_end=0.1):
+    rng = np.random.default_rng(seed)
+    return SparseFrame.from_events(
+        rng.integers(0, w, n_events),
+        rng.integers(0, h, n_events),
+        rng.choice([-1, 1], n_events),
+        h,
+        w,
+        t_start,
+        t_end,
+    )
+
+
+def frames_bit_identical(a: SparseFrame, b: SparseFrame) -> bool:
+    return (
+        (a.height, a.width) == (b.height, b.width)
+        and a.t_start == b.t_start
+        and a.t_end == b.t_end
+        and np.array_equal(a.rows, b.rows)
+        and np.array_equal(a.cols, b.cols)
+        and np.array_equal(a.pos, b.pos)
+        and np.array_equal(a.neg, b.neg)
+    )
+
+
+def make_frames(n=6, h=24, w=32, nnz=120):
+    return [
+        random_sparse_frame(seed=i, h=h, w=w, n_events=nnz, t_start=0.1 * i, t_end=0.1 * (i + 1))
+        for i in range(n)
+    ]
+
+
+class TestConstruction:
+    def test_from_frames_roundtrip(self):
+        frames = make_frames()
+        stack = FrameStack.from_frames(frames)
+        assert len(stack) == stack.num_frames == len(frames)
+        assert stack.total_active == sum(f.num_active for f in frames)
+        for original, view in zip(frames, stack):
+            assert frames_bit_identical(original, view)
+
+    def test_from_frames_keeps_empty_frames(self):
+        frames = [
+            random_sparse_frame(seed=1, t_start=0.0, t_end=0.1),
+            SparseFrame.empty(24, 32, 0.1, 0.2),
+            random_sparse_frame(seed=2, t_start=0.2, t_end=0.3),
+        ]
+        stack = FrameStack.from_frames(frames)
+        assert stack.frame(1).num_active == 0
+        assert stack.frame(1).t_start == 0.1
+        assert list(stack.nnz_counts()) == [f.num_active for f in frames]
+
+    def test_from_frames_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            FrameStack.from_frames([])
+
+    def test_from_frames_rejects_mixed_dimensions(self):
+        with pytest.raises(ValueError):
+            FrameStack.from_frames(
+                [random_sparse_frame(h=24, w=32), random_sparse_frame(h=16, w=32)]
+            )
+
+    def test_init_validates_offsets(self):
+        f = random_sparse_frame()
+        n = f.num_active
+        good = np.array([0, n], dtype=np.int64)
+        FrameStack(f.rows, f.cols, f.pos, f.neg, good, [0.0], [0.1], 24, 32)
+        with pytest.raises(ValueError):
+            FrameStack(
+                f.rows, f.cols, f.pos, f.neg, np.array([1, n]), [0.0], [0.1], 24, 32
+            )
+        with pytest.raises(ValueError):
+            FrameStack(
+                f.rows, f.cols, f.pos, f.neg, np.array([0, n - 1]), [0.0], [0.1], 24, 32
+            )
+        with pytest.raises(ValueError):
+            FrameStack(
+                f.rows, f.cols, f.pos, f.neg, np.array([0, n, n - 1, n]),
+                [0.0, 0.1, 0.2], [0.1, 0.2, 0.3], 24, 32,
+            )
+
+    def test_init_validates_time_columns(self):
+        f = random_sparse_frame()
+        offsets = np.array([0, f.num_active], dtype=np.int64)
+        with pytest.raises(ValueError):
+            FrameStack(f.rows, f.cols, f.pos, f.neg, offsets, [0.0, 0.5], [0.1], 24, 32)
+
+    def test_init_validates_bounds(self):
+        with pytest.raises(ValueError):
+            FrameStack([50], [0], [1.0], [0.0], np.array([0, 1]), [0.0], [0.1], 24, 32)
+
+
+class TestViews:
+    def test_frame_views_are_zero_copy(self):
+        stack = FrameStack.from_frames(make_frames())
+        view = stack.frame(2)
+        assert np.shares_memory(view.rows, stack.rows)
+        assert np.shares_memory(view.pos, stack.pos)
+        assert np.shares_memory(view.flat_keys(), stack.flat_buffer())
+
+    def test_frame_index_out_of_range(self):
+        stack = FrameStack.from_frames(make_frames(n=3))
+        with pytest.raises(IndexError):
+            stack.frame(3)
+        with pytest.raises(IndexError):
+            stack.frame(-1)
+
+    def test_view_flat_keys_match_recomputed(self):
+        stack = FrameStack.from_frames(make_frames())
+        for view in stack.frames():
+            expected = view.rows.astype(np.int64) * view.width + view.cols
+            assert np.array_equal(view.flat_keys(), expected)
+
+    def test_views_survive_pickling(self):
+        # Zero-copy views must pickle standalone (the sharded runtime ships
+        # frames through worker pipes) and drop the stack-aliased key cache.
+        stack = FrameStack.from_frames(make_frames())
+        view = stack.frame(1)
+        clone = pickle.loads(pickle.dumps(view))
+        assert frames_bit_identical(view, clone)
+        assert clone._flat is None
+
+
+class TestVectorisedQueries:
+    def test_densities_match_per_frame_property(self):
+        stack = FrameStack.from_frames(make_frames())
+        expected = [stack.frame(i).density for i in range(len(stack))]
+        assert np.array_equal(stack.densities(), expected)
+
+    def test_event_counts_match_per_frame_property(self):
+        frames = make_frames()
+        frames.insert(2, SparseFrame.empty(24, 32, 0.0, 0.1))
+        stack = FrameStack.from_frames(frames)
+        expected = [f.num_events for f in frames]
+        assert np.allclose(stack.event_counts(), expected)
+        assert stack.event_counts()[2] == 0.0
+
+    def test_empty_stack_queries(self):
+        stack = FrameStack.from_frames([SparseFrame.empty(8, 8, 0.0, 0.1)])
+        assert stack.densities()[0] == 0.0
+        assert stack.event_counts()[0] == 0.0
+
+
+class TestSegmentedMerges:
+    def test_segment_add_bit_identical_to_reference(self):
+        frames = make_frames(n=5)
+        assert frames_bit_identical(segment_add(frames), SparseFrame.add_reference(frames))
+
+    def test_segment_add_fractional_values(self):
+        # Averaged (non-integer) inputs exercise float accumulation order.
+        frames = [f.scale(1.0 / 3.0) for f in make_frames(n=4)]
+        assert frames_bit_identical(segment_add(frames), SparseFrame.add_reference(frames))
+
+    def test_segment_average_matches_scaled_add(self):
+        frames = make_frames(n=4)
+        merged = segment_average(frames)
+        expected = SparseFrame.add_reference(frames).scale(1.0 / 4.0)
+        assert frames_bit_identical(merged, expected)
+
+    def test_merge_groups_bit_identical_to_per_bucket_add(self):
+        frames = make_frames(n=12, nnz=60)
+        groups = [frames[0:4], frames[4:6], frames[6:12]]
+        stack = FrameStack.merge_groups(groups)
+        assert len(stack) == 3
+        for view, group in zip(stack.frames(), groups):
+            assert frames_bit_identical(view, SparseFrame.add_reference(group))
+
+    def test_merge_groups_average_mode(self):
+        frames = make_frames(n=6, nnz=60)
+        groups = [frames[0:2], frames[2:6]]
+        stack = FrameStack.merge_groups(groups, average=True)
+        for view, group in zip(stack.frames(), groups):
+            assert frames_bit_identical(view, SparseFrame.average(group))
+
+    def test_merge_groups_single_frame_groups(self):
+        frames = make_frames(n=3)
+        stack = FrameStack.merge_groups([[f] for f in frames])
+        for view, frame in zip(stack.frames(), frames):
+            assert frames_bit_identical(view, SparseFrame.add_reference([frame]))
+
+    def test_merge_groups_with_empty_frames(self):
+        group = [SparseFrame.empty(24, 32, 0.0, 0.1), random_sparse_frame(seed=7)]
+        stack = FrameStack.merge_groups([group])
+        assert frames_bit_identical(stack.frame(0), SparseFrame.add_reference(group))
+
+    def test_merge_groups_time_bounds(self):
+        frames = make_frames(n=4)
+        stack = FrameStack.merge_groups([[frames[2], frames[0]], [frames[3], frames[1]]])
+        assert stack.t_starts[0] == frames[0].t_start
+        assert stack.t_ends[0] == frames[2].t_end
+        assert stack.t_starts[1] == frames[1].t_start
+        assert stack.t_ends[1] == frames[3].t_end
+
+    def test_merge_groups_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            FrameStack.merge_groups([])
+        with pytest.raises(ValueError):
+            FrameStack.merge_groups([[]])
+        with pytest.raises(ValueError):
+            FrameStack.merge_groups(
+                [[random_sparse_frame(h=24, w=32)], [random_sparse_frame(h=16, w=16)]]
+            )
+
+
+class TestGroupedReduceKernel:
+    def test_empty_input(self):
+        keys, pos, neg = _grouped_reduce(
+            np.zeros(0, dtype=np.int64), np.zeros(0), np.zeros(0)
+        )
+        assert keys.size == pos.size == neg.size == 0
+
+    def test_matches_bincount_accumulation(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 50, 500).astype(np.int64)
+        pos = rng.uniform(0, 1, 500)
+        neg = rng.uniform(0, 1, 500)
+        unique, pos_sum, neg_sum = _grouped_reduce(keys, pos, neg)
+        expected_keys, inverse = np.unique(keys, return_inverse=True)
+        assert np.array_equal(unique, expected_keys)
+        assert np.array_equal(pos_sum, np.bincount(inverse, weights=pos))
+        assert np.array_equal(neg_sum, np.bincount(inverse, weights=neg))
+
+
+class TestJitLayer:
+    def test_numba_is_optional(self):
+        # The container has no numba: the decorator must be a no-op then.
+        @jit_ifnumba
+        def plain(x):
+            return x + 1
+
+        @jit_ifnumba(cache=True)
+        def parametrised(x):
+            return x + 2
+
+        assert plain(1) == 2
+        assert parametrised(1) == 3
+        if not HAS_NUMBA:
+            assert plain.__name__ == "plain"
+            assert parametrised.__name__ == "parametrised"
