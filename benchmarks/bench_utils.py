@@ -14,9 +14,31 @@ import sys
 from datetime import datetime, timezone
 from typing import Dict, List, Optional
 
-__all__ = ["write_bench_json"]
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
+__all__ = ["peak_rss_bytes", "write_bench_json"]
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process in bytes (None if unknown).
+
+    ``getrusage`` reports ``ru_maxrss`` in KiB on Linux and bytes on macOS;
+    normalised here so the ``BENCH_*.json`` trajectories are comparable.
+    Note the value is process-lifetime monotone — it tells you how much
+    memory the benchmark run needed *so far*, not the footprint of one
+    section; use ``tracemalloc`` for per-section allocation comparisons.
+    """
+    if resource is None:
+        return None
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(maxrss)
+    return int(maxrss) * 1024
 
 
 def write_bench_json(
@@ -30,9 +52,19 @@ def write_bench_json(
     committed) and can be redirected with ``BENCH_JSON_DIR`` — CI smoke
     jobs point it at a scratch dir so partial smoke-tier rows never
     overwrite the checked-in full-tier trajectories.
+
+    Every row is stamped with the process's peak RSS at write time
+    (:func:`peak_rss_bytes`), so the trajectories track memory alongside
+    throughput; rows that already carry a ``peak_rss_bytes`` key (e.g. one
+    sampled mid-benchmark) keep their own value.
     """
     out_dir = os.environ.get("BENCH_JSON_DIR") or _REPO_ROOT
     path = os.path.join(out_dir, f"BENCH_{name}.json")
+    rss = peak_rss_bytes()
+    rows = [
+        row if "peak_rss_bytes" in row else {**row, "peak_rss_bytes": rss}
+        for row in rows
+    ]
     payload = {
         "benchmark": name,
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),

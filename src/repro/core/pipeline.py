@@ -60,15 +60,20 @@ class EvEdgePipeline:
         latency_model: Optional[LatencyModel] = None,
         energy_model: Optional[EnergyModel] = None,
         cost_mode: str = "flat",
+        dataplane: str = "stack",
     ) -> None:
         """``cost_mode`` selects the cost-stack semantics
         (:data:`~repro.runtime.sim.COST_MODES`): ``"flat"`` keeps the
         seed-identical scalar path; ``"profile"`` propagates each input's
-        occupancy through the layers (per-layer occupancy profiles)."""
+        occupancy through the layers (per-layer occupancy profiles).
+        ``dataplane`` selects the frame transport
+        (:data:`~repro.runtime.streams.DATAPLANES`); every mode is
+        report-identical."""
         self.network = network
         self.platform = platform
         self.config = config or EvEdgeConfig()
         self.mapping = mapping
+        self.dataplane = dataplane
         self.latency_model = latency_model or LatencyModel()
         self.energy_model = energy_model or EnergyModel(self.latency_model)
         self.cost_model = NetworkCostModel(
@@ -114,6 +119,7 @@ class EvEdgePipeline:
             kernel,
             executor=SerialExecutor(kernel),
             cost_model=self.cost_model,
+            dataplane=self.dataplane,
         )
         client.prime()
         kernel.run()

@@ -12,7 +12,6 @@ Sparse Frame Aggregator needs: element-wise add, average, batching
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -539,26 +538,100 @@ class SparseFrame:
         return top / bottom
 
 
-@dataclass
 class SparseFrameBatch:
     """An ordered batch of sparse frames (the ``cBatch`` merge mode output).
 
     The batch is what gets presented to the network as a multi-channel /
     multi-timestep input: ``B`` sparse frames concatenated along a leading
     batch dimension.
+
+    A batch has two interchangeable backings:
+
+    * **frame-list** (the ``SparseFrameBatch([...])`` constructor) — an
+      explicit list of :class:`SparseFrame` objects, the pre-columnar
+      representation;
+    * **stack-range** (:meth:`from_stack`) — an index range into a
+      :class:`~repro.frames.stack.FrameStack`, the columnar transport the
+      runtime uses end to end: density and time-bound queries read the
+      stack's vectorised columns, :meth:`to_dense` scatters the whole batch
+      in one flat ``bincount`` pass, and no per-frame objects exist until a
+      caller explicitly asks for :attr:`frames` (which materialises
+      zero-copy views lazily).
+
+    Every query is bit-identical across the two backings; the per-frame
+    formulas are kept in :meth:`to_dense_reference` and the frame tests.
     """
 
-    frames: List[SparseFrame] = field(default_factory=list)
+    __slots__ = ("_frames", "_stack", "_start", "_stop")
 
-    def __post_init__(self) -> None:
-        if self.frames:
-            h, w = self.frames[0].height, self.frames[0].width
-            for f in self.frames[1:]:
+    def __init__(self, frames: Optional[Sequence[SparseFrame]] = None) -> None:
+        frames = list(frames) if frames is not None else []
+        if frames:
+            h, w = frames[0].height, frames[0].width
+            for f in frames[1:]:
                 if (f.height, f.width) != (h, w):
                     raise ValueError("all frames in a batch must share dimensions")
+        self._frames: Optional[List[SparseFrame]] = frames
+        self._stack = None
+        self._start = 0
+        self._stop = 0
+
+    @classmethod
+    def from_stack(
+        cls, stack, start: int = 0, stop: Optional[int] = None
+    ) -> "SparseFrameBatch":
+        """Batch over frames ``[start, stop)`` of ``stack``, zero-copy.
+
+        The stack's buffers were validated at build time, so no per-frame
+        re-validation happens; the batch holds only the stack reference and
+        the index range.
+        """
+        stop = stack.num_frames if stop is None else int(stop)
+        start = int(start)
+        if not 0 <= start <= stop <= stack.num_frames:
+            raise IndexError(
+                f"batch range [{start}, {stop}) out of range for "
+                f"{stack.num_frames} frames"
+            )
+        batch = cls.__new__(cls)
+        batch._frames = None
+        batch._stack = stack
+        batch._start = start
+        batch._stop = stop
+        return batch
+
+    @property
+    def stack(self):
+        """The backing :class:`FrameStack` (``None`` for frame-list batches)."""
+        return self._stack
+
+    @property
+    def stack_range(self) -> Optional[Tuple[int, int]]:
+        """The backing ``(start, stop)`` index range, ``None`` if frame-backed."""
+        if self._stack is None:
+            return None
+        return (self._start, self._stop)
+
+    @property
+    def frames(self) -> List[SparseFrame]:
+        """The batch's frames (stack-backed batches materialise views lazily).
+
+        Callers must not mutate the returned list.
+        """
+        if self._frames is None:
+            self._frames = [
+                self._stack.frame(i) for i in range(self._start, self._stop)
+            ]
+        return self._frames
+
+    def __repr__(self) -> str:
+        backing = "stack" if self._stack is not None else "frames"
+        return f"SparseFrameBatch({len(self)} frames, {backing}-backed)"
 
     def __len__(self) -> int:
-        return len(self.frames)
+        if self._stack is not None:
+            return self._stop - self._start
+        return len(self._frames)
 
     def __iter__(self):
         return iter(self.frames)
@@ -569,28 +642,48 @@ class SparseFrameBatch:
     @property
     def t_start(self) -> float:
         """Earliest start time in the batch."""
-        return min((f.t_start for f in self.frames), default=0.0)
+        if self._stack is not None:
+            if self._stop == self._start:
+                return 0.0
+            return float(self._stack.t_starts[self._start : self._stop].min())
+        return min((f.t_start for f in self._frames), default=0.0)
 
     @property
     def t_end(self) -> float:
         """Latest end time in the batch."""
-        return max((f.t_end for f in self.frames), default=0.0)
+        if self._stack is not None:
+            if self._stop == self._start:
+                return 0.0
+            return float(self._stack.t_ends[self._start : self._stop].max())
+        return max((f.t_end for f in self._frames), default=0.0)
 
     @property
     def num_events(self) -> float:
-        """Total number of events across the batch."""
+        """Total number of events across the batch.
+
+        Deliberately summed frame by frame (not over the whole stack buffer)
+        so the floating-point accumulation order is identical across both
+        backings, including fractional cAverage values.
+        """
         return float(sum(f.num_events for f in self.frames))
 
     @property
     def mean_density(self) -> float:
         """Mean spatial density across the batch (0 for an empty batch)."""
-        if not self.frames:
+        if self._stack is not None:
+            n = self._stop - self._start
+            if n == 0:
+                return 0.0
+            if n == 1:
+                return self._stack.frame_density(self._start)
+            return float(np.mean(self._stack.densities()[self._start : self._stop]))
+        if not self._frames:
             return 0.0
-        if len(self.frames) == 1:
+        if len(self._frames) == 1:
             # Bit-identical to np.mean over one element; single-frame
             # batches dominate the traffic hot path.
-            return float(self.frames[0].density)
-        return float(np.mean([f.density for f in self.frames]))
+            return float(self._frames[0].density)
+        return float(np.mean([f.density for f in self._frames]))
 
     def frame_densities(self) -> Tuple[float, ...]:
         """Per-frame spatial densities, in batch order.
@@ -598,12 +691,56 @@ class SparseFrameBatch:
         These seed the per-member occupancy profiles of the layered cost
         stack: a merged dispatch's per-layer occupancy is the mean of its
         members' propagated profiles, so the combination needs the
-        individual densities, not just :attr:`mean_density`.
+        individual densities, not just :attr:`mean_density`.  Stack-backed
+        batches read the stack's cached density column directly.
         """
-        return tuple(f.density for f in self.frames)
+        if self._stack is not None:
+            return tuple(
+                self._stack.densities()[self._start : self._stop].tolist()
+            )
+        return tuple(f.density for f in self._frames)
 
     def to_dense(self) -> np.ndarray:
-        """Decode into a dense ``(B, 2, H, W)`` tensor."""
+        """Decode into a dense ``(B, 2, H, W)`` tensor.
+
+        Stack-backed batches scatter *all* frames in one flat ``bincount``
+        pass per channel over the concatenated COO columns (the frame index
+        folded into the pixel key) instead of stacking per-frame decodes —
+        bit-identical to :meth:`to_dense_reference` because ``bincount``
+        accumulates duplicate coordinates in input order within each frame,
+        exactly as the per-frame scatter does.
+        """
+        if self._stack is not None:
+            stack = self._stack
+            num = self._stop - self._start
+            if num == 0:
+                return np.zeros((0, 2, 0, 0))
+            h, w = stack.height, stack.width
+            size = h * w
+            lo = int(stack.offsets[self._start])
+            hi = int(stack.offsets[self._stop])
+            key = (
+                np.repeat(
+                    np.arange(num, dtype=np.int64),
+                    stack.nnz_counts()[self._start : self._stop],
+                )
+                * size
+                + stack.flat_buffer()[lo:hi]
+            )
+            dense = np.empty((num, 2, h, w), dtype=np.float64)
+            dense[:, 0] = np.bincount(
+                key, weights=stack.pos[lo:hi], minlength=num * size
+            ).reshape(num, h, w)
+            dense[:, 1] = np.bincount(
+                key, weights=stack.neg[lo:hi], minlength=num * size
+            ).reshape(num, h, w)
+            return dense
+        if not self._frames:
+            return np.zeros((0, 2, 0, 0))
+        return np.stack([f.to_dense() for f in self._frames], axis=0)
+
+    def to_dense_reference(self) -> np.ndarray:
+        """The per-frame ``np.stack`` decode, kept as equivalence oracle."""
         if not self.frames:
             return np.zeros((0, 2, 0, 0))
         return np.stack([f.to_dense() for f in self.frames], axis=0)
@@ -614,10 +751,26 @@ class SparseFrameBatch:
 
         A single input batch is returned as-is (batches are value objects —
         callers never mutate them), so the unmerged dispatch hot path pays
-        no copy or re-validation.
+        no copy or re-validation.  When every member is a view into the
+        *same* :class:`FrameStack` and the index ranges are adjacent in
+        order, the result is the index-range union — still zero-copy, no
+        buffers touched.  Otherwise the member frames are gathered into a
+        frame-list batch.
         """
         if len(batches) == 1:
             return batches[0]
+        first = batches[0]
+        stack = first._stack
+        if stack is not None:
+            stop = first._stop
+            contiguous = True
+            for b in batches[1:]:
+                if b._stack is not stack or b._start != stop:
+                    contiguous = False
+                    break
+                stop = b._stop
+            if contiguous:
+                return SparseFrameBatch.from_stack(stack, first._start, stop)
         frames: List[SparseFrame] = []
         for b in batches:
             frames.extend(b.frames)

@@ -31,7 +31,7 @@ through :mod:`repro.frames._jit`, but is never required.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -71,6 +71,10 @@ class FrameStack:
         "height",
         "width",
         "_flat",
+        "_dens",
+        "_ts_list",
+        "_te_list",
+        "_d_list",
     )
 
     def __init__(
@@ -122,6 +126,10 @@ class FrameStack:
         self.height = int(height)
         self.width = int(width)
         self._flat = None if flat is None else np.asarray(flat, dtype=np.int64)
+        self._dens = None
+        self._ts_list = None
+        self._te_list = None
+        self._d_list = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -153,6 +161,10 @@ class FrameStack:
         stack.height = height
         stack.width = width
         stack._flat = flat
+        stack._dens = None
+        stack._ts_list = None
+        stack._te_list = None
+        stack._d_list = None
         return stack
 
     @classmethod
@@ -219,12 +231,47 @@ class FrameStack:
         return np.diff(self.offsets)
 
     def densities(self) -> np.ndarray:
-        """Per-frame spatial densities, vectorised.
+        """Per-frame spatial densities, vectorised (cached).
 
         Equals ``[stack.frame(i).density for i in range(len(stack))]``
-        without materialising a frame view per entry.
+        without materialising a frame view per entry.  The column is cached:
+        DSFA placement probes and batch cost queries read it repeatedly on
+        the fleet hot path.  Callers must not mutate the returned array.
         """
-        return self.nnz_counts() / float(self.height * self.width)
+        if self._dens is None:
+            self._dens = self.nnz_counts() / float(self.height * self.width)
+        return self._dens
+
+    def frame_density(self, index: int) -> float:
+        """Spatial density of frame ``index`` — O(1) off the cached
+        :meth:`densities` column, bit-identical to ``frame(index).density``."""
+        return float(self.densities()[index])
+
+    def t_starts_list(self) -> List[float]:
+        """``t_starts`` as a cached list of python floats.
+
+        ``float64.tolist()`` round-trips every value exactly, so indexing
+        this list is bit-identical to ``float(self.t_starts[i])`` — but a
+        list index is a pointer load, while extracting a numpy scalar per
+        DSFA push costs ~1µs.  Placement probes read one entry per frame.
+        """
+        if self._ts_list is None:
+            self._ts_list = self.t_starts.tolist()
+        return self._ts_list
+
+    def t_ends_list(self) -> List[float]:
+        """``t_ends`` as a cached list of python floats (exact, same
+        rationale as :meth:`t_starts_list`)."""
+        if self._te_list is None:
+            self._te_list = self.t_ends.tolist()
+        return self._te_list
+
+    def densities_list(self) -> List[float]:
+        """:meth:`densities` as a cached list of python floats (exact,
+        same rationale as :meth:`t_starts_list`)."""
+        if self._d_list is None:
+            self._d_list = self.densities().tolist()
+        return self._d_list
 
     def event_counts(self) -> np.ndarray:
         """Per-frame accumulated event counts (``pos + neg``), vectorised."""
@@ -244,8 +291,13 @@ class FrameStack:
     def frame(self, index: int) -> SparseFrame:
         """Zero-copy :class:`SparseFrame` view of frame ``index``.
 
-        The view's columns are slices of the stack buffers (shared memory)
-        and its flat-key cache is pre-seeded from the stack's key buffer.
+        The view's columns are slices of the stack buffers (shared memory).
+        Its flat-key cache is pre-seeded from the stack's key buffer only
+        when that buffer already exists: computing the whole column just to
+        seed one view would charge merged dispatch stacks — whose views are
+        materialised for density reads that never touch the keys — an int64
+        column per dispatch.  Callers that materialise every frame for
+        key-consuming merges warm :meth:`flat_buffer` first.
         """
         if not 0 <= index < self.num_frames:
             raise IndexError(f"frame index {index} out of range")
@@ -260,12 +312,81 @@ class FrameStack:
             self.width,
             float(self.t_starts[index]),
             float(self.t_ends[index]),
-            flat=self.flat_buffer()[lo:hi],
+            flat=None if self._flat is None else self._flat[lo:hi],
         )
 
     def frames(self) -> List[SparseFrame]:
         """All frames as zero-copy views, in stack order."""
         return [self.frame(i) for i in range(self.num_frames)]
+
+    def slice(self, start: int, stop: int) -> "FrameStack":
+        """Zero-copy sub-stack over frames ``[start, stop)``.
+
+        Buffer columns and time bounds are numpy views into this stack
+        (shared memory); only the rebased ``offsets`` array is newly
+        allocated.  A cached flat-key buffer is carried into the slice (as a
+        view) when present — it is never computed just for the slice.  This
+        is how shard workers and churned streams ship index ranges instead
+        of frame lists; pickling a slice serialises only the sliced
+        elements and drops the derived caches (see :meth:`__getstate__`).
+        """
+        if not 0 <= start <= stop <= self.num_frames:
+            raise IndexError(
+                f"slice [{start}, {stop}) out of range for {self.num_frames} frames"
+            )
+        lo = int(self.offsets[start])
+        hi = int(self.offsets[stop])
+        return FrameStack._view(
+            self.rows[lo:hi],
+            self.cols[lo:hi],
+            self.pos[lo:hi],
+            self.neg[lo:hi],
+            self.offsets[start : stop + 1] - lo,
+            self.t_starts[start:stop],
+            self.t_ends[start:stop],
+            self.height,
+            self.width,
+            flat=None if self._flat is None else self._flat[lo:hi],
+        )
+
+    # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        # The flat-key and density caches are derived data (and may alias
+        # buffers of a parent stack) — rebuild them lazily on the other side
+        # instead of shipping them through worker pipes.  Pickling array
+        # views serialises only the viewed elements, so sliced sub-stacks
+        # ship compactly.
+        return (
+            self.rows,
+            self.cols,
+            self.pos,
+            self.neg,
+            self.offsets,
+            self.t_starts,
+            self.t_ends,
+            self.height,
+            self.width,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.rows,
+            self.cols,
+            self.pos,
+            self.neg,
+            self.offsets,
+            self.t_starts,
+            self.t_ends,
+            self.height,
+            self.width,
+        ) = state
+        self._flat = None
+        self._dens = None
+        self._ts_list = None
+        self._te_list = None
+        self._d_list = None
 
     # ------------------------------------------------------------------
     # segmented merge kernels
@@ -340,6 +461,84 @@ class FrameStack:
             h,
             w,
             flat=unique_flat,
+        )
+
+    def merge_ranges(
+        self, ranges: Sequence[Tuple[int, int]], average: bool = False
+    ) -> "FrameStack":
+        """Merge frame index ranges of *this* stack with cAdd (or cAverage).
+
+        ``ranges`` is a sequence of non-empty ``(start, stop)`` frame-index
+        ranges; merged frame ``i`` of the result is the merge of frames
+        ``[ranges[i][0], ranges[i][1])``.  This is the slice-backed DSFA
+        dispatch kernel: buckets that hold index ranges into one stream's
+        stack merge without ever materialising per-frame views.  When the
+        ranges are adjacent and ascending — always true for DSFA buckets,
+        which partition a contiguous run of arrivals — the entry columns are
+        one parent slice and nothing is concatenated at all.
+
+        Bit-identical to :meth:`merge_groups` over the equivalent frame-view
+        groups: the entry buffers, segment labels and grouped reduction are
+        the same arrays in the same order.
+        """
+        if not len(ranges):
+            raise ValueError("cannot merge an empty list of ranges")
+        starts = np.array([r[0] for r in ranges], dtype=np.int64)
+        stops = np.array([r[1] for r in ranges], dtype=np.int64)
+        if np.any(stops <= starts):
+            raise ValueError("cannot merge an empty range")
+        if starts.min() < 0 or stops.max() > self.num_frames:
+            raise IndexError("merge range out of bounds")
+        lo = self.offsets[starts]
+        hi = self.offsets[stops]
+        if np.array_equal(starts[1:], stops[:-1]):
+            # Adjacent ascending ranges: one contiguous parent slice.
+            flat = self.flat_buffer()[int(lo[0]) : int(hi[-1])]
+            pos = self.pos[int(lo[0]) : int(hi[-1])]
+            neg = self.neg[int(lo[0]) : int(hi[-1])]
+        else:
+            whole = self.flat_buffer()
+            flat = np.concatenate([whole[a:b] for a, b in zip(lo, hi)])
+            pos = np.concatenate([self.pos[a:b] for a, b in zip(lo, hi)])
+            neg = np.concatenate([self.neg[a:b] for a, b in zip(lo, hi)])
+        num_pixels = self.height * self.width
+        ts = self.t_starts_list()
+        te = self.t_ends_list()
+        segment = np.repeat(np.arange(len(ranges), dtype=np.int64), hi - lo)
+        key = segment * num_pixels + flat
+        unique_key, pos_sum, neg_sum = _grouped_reduce(key, pos, neg)
+        unique_segment = unique_key // num_pixels
+        unique_flat = unique_key - unique_segment * num_pixels
+        if average:
+            factors = 1.0 / (stops - starts).astype(np.float64)
+            pos_sum = pos_sum * factors[unique_segment]
+            neg_sum = neg_sum * factors[unique_segment]
+        offsets = np.zeros(len(ranges) + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(unique_segment, minlength=len(ranges)), out=offsets[1:]
+        )
+        # The flat key cache is deliberately NOT carried onto the result:
+        # dispatched batches sit in inference queues for a while and are
+        # never re-merged, so retaining the int64 key column would grow the
+        # fleet's steady-state footprint ~25% for keys nobody reads (they
+        # recompute lazily in the rare paths that want them).
+        return FrameStack._view(
+            (unique_flat // self.width).astype(np.int32),
+            (unique_flat % self.width).astype(np.int32),
+            pos_sum,
+            neg_sum,
+            offsets,
+            # min/max over the cached python-float columns: bit-identical
+            # to the numpy reductions (same float64 values, no NaN) without
+            # a ufunc dispatch per range.
+            np.array(
+                [min(ts[r[0] : r[1]]) for r in ranges], dtype=np.float64
+            ),
+            np.array(
+                [max(te[r[0] : r[1]]) for r in ranges], dtype=np.float64
+            ),
+            self.height,
+            self.width,
         )
 
     @staticmethod

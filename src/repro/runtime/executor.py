@@ -25,6 +25,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..core.nmp.candidate import MappingCandidate
 from ..core.nmp.scheduler import ExecutionScheduler, ScheduleResult
 from ..frames.sparse import SparseFrameBatch
@@ -276,20 +278,30 @@ class SignatureServer:
         return members
 
     def _execute(self, members: List[_PendingDispatch], ready_time: float) -> None:
-        combined = SparseFrameBatch.concatenate([m.batch for m in members])
         sparse = self.cost_model.uses_sparse
-        occupancy = combined.mean_density if sparse else 1.0
+        num_frames = sum(len(m.batch) for m in members)
+        # The members' density columns drive the costing directly — no
+        # concatenated batch (and no per-frame view) is materialised for a
+        # cross-stream merge.  Flattening the per-member columns preserves
+        # the exact values and order a concatenated batch would expose, so
+        # the mean and the combined profile are bit-identical.
+        if sparse:
+            densities = [d for m in members for d in m.batch.frame_densities()]
+            occupancy = float(np.mean(densities)) if densities else 0.0
+        else:
+            densities = []
+            occupancy = 1.0
         # The dispatch path hands the cost stack a per-layer occupancy
         # profile, not a scalar: under ``cost_mode="profile"`` the merged
         # batch's profile is the entry-wise combination of its members'
         # propagated profiles (flat mode reduces to the scalar path).
-        profile = self.cost_model.batch_profile(combined, occupancy)
-        latency, energy = self.cost_model.profile_cost(profile, max(len(combined), 1))
+        profile = self.cost_model.densities_profile(densities, occupancy)
+        latency, energy = self.cost_model.profile_cost(profile, max(num_frames, 1))
         start, end = self.kernel.acquire(self.cost_model.pes_used, ready_time, latency)
         self.inferences += 1
         if len(members) > 1:
             self.merged_dispatches += len(members)
-        total_frames = max(len(combined), 1)
+        total_frames = max(num_frames, 1)
         for member in members:
             share = len(member.batch) / total_frames
             record = InferenceRecord(

@@ -27,6 +27,10 @@ as oracles so that claim stays machine-checked:
   bucket mints its own copy of every layer cell — the memo-thrashing
   behaviour ``benchmarks/bench_cost_model.py`` quantifies against the
   layered stack.
+* :class:`ReferenceAggregator` — the fully per-frame DSFA driven by the
+  ``"reference"`` data plane: placement probes re-merge whole frame lists
+  per call (``SparseFrame.add_reference``) and every dispatch merges bucket
+  by bucket, with no stack ranges or segmented grouped-reduce anywhere.
 
 Both implement the *current* accounting semantics (per-member latency
 shares, the queued-service backlog estimate) on the *old* data structures —
@@ -47,6 +51,13 @@ import heapq
 import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..core.dsfa import (
+    BucketStatus,
+    DynamicSparseFrameAggregator,
+    MergeBucket,
+    MergeMode,
+)
+from ..frames.sparse import SparseFrame, SparseFrameBatch
 from ..nn.occupancy import OccupancyProfile
 from .executor import SignatureServer, _PendingDispatch
 from .sim import (
@@ -57,7 +68,13 @@ from .sim import (
     SimulationKernel,
 )
 
-__all__ = ["LegacyScanKernel", "LegacyListServer", "ScalarCostModel"]
+__all__ = [
+    "LegacyScanKernel",
+    "LegacyListServer",
+    "ScalarCostModel",
+    "ReferenceMergeBucket",
+    "ReferenceAggregator",
+]
 
 
 class LegacyScanKernel(SimulationKernel):
@@ -214,3 +231,69 @@ class ScalarCostModel(NetworkCostModel):
         # Flat mode must key layer cells exactly as PR-4 did (bucketed);
         # profile mode keys the raw propagated occupancies.
         return self.cost_mode != "profile"
+
+
+class ReferenceMergeBucket(MergeBucket):
+    """A merge bucket with every PR 5–8 merge optimization stripped.
+
+    * density probes re-merge the *whole* frame list per :meth:`accepts`
+      call through :meth:`SparseFrame.add_reference` (no incremental cache,
+      no grouped-reduce kernel);
+    * :meth:`merge` combines the list with ``add_reference`` as well,
+      scaling for cAverage.
+
+    Both are bit-identical to the production bucket — merging is associative
+    on the support and ``add_reference`` is the proven oracle for ``add`` —
+    just quadratic where the stack path is O(1) per probe.
+    """
+
+    def _merged_support(self) -> SparseFrame:
+        return SparseFrame.add_reference(self.frames)
+
+    def add(self, frame: SparseFrame) -> None:
+        if self.is_full:
+            raise RuntimeError("cannot add a frame to a FULL merge bucket")
+        self.frames.append(frame)
+        if self.occupancy >= self.capacity:
+            self.status = BucketStatus.FULL
+
+    def merge(self, mode: MergeMode) -> SparseFrame:
+        if not self.frames:
+            raise RuntimeError("cannot merge an empty bucket")
+        merged = SparseFrame.add_reference(self.frames)
+        if mode is MergeMode.AVERAGE:
+            merged = merged.scale(1.0 / len(self.frames))
+        return merged
+
+
+class ReferenceAggregator(DynamicSparseFrameAggregator):
+    """The fully per-frame DSFA: reference buckets, per-bucket merges.
+
+    The ``"reference"`` data plane's aggregator
+    (:data:`~repro.runtime.streams.DATAPLANES`): placement probes re-merge
+    frame lists per call and every dispatch merges bucket by bucket through
+    ``add_reference`` — no stack ranges, no segmented grouped-reduce pass.
+    Dispatch decisions and merged values are bit-identical to the
+    production aggregator; ``benchmarks/bench_dataplane.py`` measures the
+    columnar transport's fleet speedup against it.
+    """
+
+    def _bucket_factory(self, capacity: int) -> MergeBucket:
+        return ReferenceMergeBucket(capacity=capacity)
+
+    def push_index(self, stack, index, hardware_available=False):
+        # The reference transport materialises frames; an index push is
+        # routed through the per-frame path so oracle buckets stay uniform.
+        return self.push(stack.frame(index), hardware_available=hardware_available)
+
+    def _merge_buckets(self) -> SparseFrameBatch:
+        average = self.config.merge_mode is MergeMode.AVERAGE
+        merged: List[SparseFrame] = []
+        for bucket in self._buckets:
+            if not bucket.occupancy:
+                continue
+            frame = SparseFrame.add_reference(bucket.frames)
+            if average:
+                frame = frame.scale(1.0 / len(bucket.frames))
+            merged.append(frame)
+        return SparseFrameBatch(merged)

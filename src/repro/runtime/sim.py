@@ -47,7 +47,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import EvEdgeConfig
 from ..core.nmp.candidate import MappingCandidate
@@ -331,9 +331,17 @@ class DispatchBatch(SimEvent):
 
 
 class FrameReady(SimEvent):
-    """A sparse frame became available on a traffic stream."""
+    """A sparse frame became available on a traffic stream.
 
-    __slots__ = ("frame",)
+    Two transports share this event.  The columnar (default) data plane
+    carries a ``(stack, index)`` reference into the stream's rendered
+    :class:`~repro.frames.stack.FrameStack` — no per-frame object exists
+    unless a consumer reads :attr:`frame`, which materialises (and caches)
+    a zero-copy view.  The per-frame oracle paths carry a materialised
+    ``frame`` directly and leave ``stack`` as ``None``.
+    """
+
+    __slots__ = ("_frame", "stack", "index")
 
     PRIORITY = 3
 
@@ -342,14 +350,27 @@ class FrameReady(SimEvent):
         time: float,
         stream: str = "",
         frame: Optional[SparseFrame] = None,
+        stack=None,
+        index: int = -1,
     ) -> None:
         super().__init__(time, stream)
-        self.frame = frame
+        self._frame = frame
+        self.stack = stack
+        self.index = index
+
+    @property
+    def frame(self) -> Optional[SparseFrame]:
+        """The frame, materialised lazily for stack-referenced events."""
+        if self._frame is None and self.stack is not None:
+            self._frame = self.stack.frame(self.index)
+        return self._frame
 
     def trace_detail(self) -> str:
-        if self.frame is None:
+        if self.stack is not None:
+            return f"density={self.stack.frame_density(self.index):.4f}"
+        if self._frame is None:
             return ""
-        return f"density={self.frame.density:.4f}"
+        return f"density={self._frame.density:.4f}"
 
 
 class StreamEnd(SimEvent):
@@ -822,16 +843,29 @@ class NetworkCostModel:
         """
         if occupancy is None:
             occupancy = batch.mean_density if self.uses_sparse else 1.0
-        occupancy = max(float(occupancy), 1e-4)
         if (
             self.cost_mode == "flat"
             or not self.uses_sparse
             or len(batch) <= 1
         ):
+            return self.occupancy_profile(max(float(occupancy), 1e-4))
+        return self.densities_profile(batch.frame_densities(), occupancy)
+
+    def densities_profile(
+        self, densities: Sequence[float], occupancy: float
+    ) -> OccupancyProfile:
+        """Input profile from an explicit per-frame density sequence.
+
+        The density-column form of :meth:`batch_profile`: cross-stream
+        merges hand the member batches' density columns straight to the
+        cost stack, so no concatenated batch (and no per-frame view) is
+        ever materialised for costing.
+        """
+        occupancy = max(float(occupancy), 1e-4)
+        if self.cost_mode == "flat" or not self.uses_sparse or len(densities) <= 1:
             return self.occupancy_profile(occupancy)
         members = [
-            self.occupancy_profile(max(density, 1e-4))
-            for density in batch.frame_densities()
+            self.occupancy_profile(max(density, 1e-4)) for density in densities
         ]
         return self._bucket_profile(OccupancyProfile.combine(members))
 

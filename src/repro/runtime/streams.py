@@ -51,6 +51,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.config import EvEdgeConfig
 from ..core.dsfa import DynamicSparseFrameAggregator
 from ..core.e2sf import Event2SparseFrameConverter
@@ -58,6 +60,7 @@ from ..core.nmp.candidate import Assignment, MappingCandidate
 from ..core.nmp.search import MapperEngine, NMPConfig, NMPResult, make_strategy
 from ..events.datasets import EventSequence
 from ..frames.sparse import SparseFrame, SparseFrameBatch
+from ..frames.stack import FrameStack
 from ..hw.energy import EnergyModel
 from ..hw.latency import LatencyModel
 from ..hw.pe import Platform
@@ -81,6 +84,7 @@ from .sim import (
 from .tracer import KernelTrace
 
 __all__ = [
+    "DATAPLANES",
     "StreamSource",
     "StreamClient",
     "SerialExecutor",
@@ -91,6 +95,25 @@ __all__ = [
     "MultiStreamReport",
     "MultiStreamSimulator",
 ]
+
+#: The runtime frame-transport modes.
+#:
+#: ``"stack"`` (default) — the columnar data plane: ``FrameReady`` events
+#: carry ``(stack, index)`` references into the stream's rendered
+#: :class:`~repro.frames.stack.FrameStack`, DSFA buffers index ranges
+#: (:class:`~repro.core.dsfa.StackMergeBucket`) and dispatches stack-backed
+#: :class:`~repro.frames.sparse.SparseFrameBatch` objects; no per-frame
+#: Python object is created anywhere on the hot path.
+#:
+#: ``"frames"`` — the per-frame-object transport over the same columnar
+#: render: events carry materialised zero-copy stack views, DSFA buffers
+#: frame lists.  This was the default before the stack transport landed.
+#:
+#: ``"reference"`` — the fully per-frame oracle: the per-frame transport
+#: driving :class:`~repro.runtime.legacy.ReferenceAggregator` (uncached
+#: whole-bucket re-merges, per-bucket reference merges).  Equivalence tests
+#: and ``benchmarks/bench_dataplane.py`` compare against it.
+DATAPLANES = ("stack", "frames", "reference")
 
 
 @dataclass
@@ -130,41 +153,87 @@ class StreamSource:
     _frames: Optional[List[Tuple[float, SparseFrame]]] = field(
         default=None, init=False, repr=False, compare=False
     )
+    _stack: Optional[Tuple[Optional[FrameStack], np.ndarray]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _arrival_times: Optional[List[float]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def generate_stack(self) -> Tuple[Optional[FrameStack], np.ndarray]:
+        """Render the stream as a ``(stack, arrivals)`` column pair.
+
+        The whole recording renders through the one-pass columnar converter
+        (:meth:`~repro.core.e2sf.Event2SparseFrameConverter.convert_stack`)
+        into one :class:`~repro.frames.stack.FrameStack`; the arrivals
+        column is the stack's ``t_ends`` shifted by ``start_offset`` (a
+        frame becomes available when its event bin closes).  Arrivals are
+        non-decreasing by construction — the E2SF bin boundaries of a
+        validated, strictly increasing timestamp grid — so a ``stop_time``
+        churn window is a prefix cut: one ``searchsorted`` plus a zero-copy
+        :meth:`~repro.frames.stack.FrameStack.slice`, matching the
+        per-frame filter ``arrival <= stop_time`` exactly.
+
+        An empty sequence yields ``(None, empty)``.  Rendering is a pure
+        function of the (immutable) sequence and config, so the result is
+        computed once and cached on the source; callers must not mutate
+        the returned arrays.
+        """
+        if self._stack is not None:
+            return self._stack
+        if self.sequence.num_intervals > 0:
+            converter = Event2SparseFrameConverter(self.config.num_bins)
+            stack = converter.convert_stack(
+                self.sequence.events, self.sequence.frame_timestamps
+            )
+            arrivals = stack.t_ends + self.start_offset
+            if self.stop_time is not None:
+                keep = int(np.searchsorted(arrivals, self.stop_time, side="right"))
+                if keep < len(stack):
+                    stack = stack.slice(0, keep)
+                    arrivals = arrivals[:keep]
+            # The flat key and density columns are part of the rendered
+            # product: DSFA placement probes read both on the very first
+            # push, so warming them here keeps the simulation loop free of
+            # render work.
+            stack.flat_buffer()
+            stack.densities()
+            stack.t_starts_list()
+            stack.t_ends_list()
+            stack.densities_list()
+            # tolist() round-trips float64 exactly; the scheduling loop
+            # reads python floats without a numpy scalar extraction per
+            # frame, and the boxed floats are part of the rendered cache
+            # rather than per-run allocations.
+            self._arrival_times = arrivals.tolist()
+            self._stack = (stack, arrivals)
+        else:
+            self._arrival_times = []
+            self._stack = (None, np.zeros(0))
+        return self._stack
+
+    def arrival_times(self) -> List[float]:
+        """Arrival times of :meth:`generate_stack` as cached python floats."""
+        if self._arrival_times is None:
+            self.generate_stack()
+        return self._arrival_times
 
     def generate_frames(self) -> List[Tuple[float, SparseFrame]]:
         """Render the stream as ``(arrival_time, sparse_frame)`` pairs.
 
-        A frame becomes available when its event bin closes (``t_end``),
-        shifted by the stream's ``start_offset``.  Frames arriving after
-        ``stop_time`` are dropped at the source: a stream that has left the
-        platform produces no traffic.
-
-        The whole recording renders through the one-pass columnar converter
-        (:meth:`~repro.core.e2sf.Event2SparseFrameConverter.convert_stack`):
-        one :class:`~repro.frames.stack.FrameStack` per stream, with each
-        dispatched frame a zero-copy view into the stack's buffers —
-        bit-identical to the per-interval loop kept in
-        :meth:`generate_frames_reference`.
-
-        Rendering is a pure function of the (immutable) sequence and config,
-        so the result is computed once and cached on the source: repeated
-        simulations of the same fleet — sweeps, benchmarks, equivalence
-        oracles — skip the E2SF conversion entirely.  Callers must not
-        mutate the returned list.
+        The per-frame-object view of :meth:`generate_stack`: each pair holds
+        a zero-copy view into the stream's rendered stack — bit-identical to
+        the per-interval loop kept in :meth:`generate_frames_reference`.
+        The ``"stack"`` data plane never calls this; the ``"frames"`` /
+        ``"reference"`` transports (and a few analyses) do.  Cached like the
+        stack; callers must not mutate the returned list.
         """
         if self._frames is not None:
             return self._frames
-        timestamps = self.sequence.frame_timestamps
+        stack, arrivals = self.generate_stack()
         out: List[Tuple[float, SparseFrame]] = []
-        if self.sequence.num_intervals > 0:
-            converter = Event2SparseFrameConverter(self.config.num_bins)
-            stack = converter.convert_stack(self.sequence.events, timestamps)
-            arrivals = stack.t_ends + self.start_offset
-            for i in range(len(stack)):
-                arrival = float(arrivals[i])
-                if self.stop_time is not None and arrival > self.stop_time:
-                    continue
-                out.append((arrival, stack.frame(i)))
+        if stack is not None:
+            out = [(float(arrivals[i]), stack.frame(i)) for i in range(len(stack))]
         self._frames = out
         return out
 
@@ -216,6 +285,11 @@ class StreamClient:
     Replays the exact frame-handling protocol of the seed pipeline: DSFA
     buffering with hardware-availability dispatch when enabled, otherwise
     per-frame execution with the bounded-backlog drop rule.
+
+    ``dataplane`` selects the frame transport (:data:`DATAPLANES`): the
+    columnar ``"stack"`` default schedules ``(stack, index)`` references
+    and pushes indices into DSFA; ``"frames"`` / ``"reference"`` drive the
+    per-frame oracle paths.  All three produce bit-identical reports.
     """
 
     def __init__(
@@ -225,20 +299,31 @@ class StreamClient:
         executor,
         cost_model: NetworkCostModel,
         keep_records: bool = True,
+        dataplane: str = "stack",
     ) -> None:
+        if dataplane not in DATAPLANES:
+            raise ValueError(
+                f"unknown dataplane {dataplane!r}; expected one of {DATAPLANES}"
+            )
         self.source = source
         self.name = source.name
         self.kernel = kernel
         self.executor = executor
         self.cost_model = cost_model
         self.config = source.config
+        self.dataplane = dataplane
         self.queue_depth = source.config.dsfa.inference_queue_depth
         self.report = PipelineReport(keep_records=keep_records)
-        self.aggregator = (
-            DynamicSparseFrameAggregator(source.config.dsfa)
-            if source.config.optimization.uses_dsfa
-            else None
-        )
+        if not source.config.optimization.uses_dsfa:
+            self.aggregator = None
+        elif dataplane == "reference":
+            # Local import: legacy hosts every reference implementation and
+            # is only pulled in when an oracle path actually runs.
+            from .legacy import ReferenceAggregator
+
+            self.aggregator = ReferenceAggregator(source.config.dsfa)
+        else:
+            self.aggregator = DynamicSparseFrameAggregator(source.config.dsfa)
         self._last_duration = 0.0
         kernel.on(FrameReady, self._on_frame, stream=self.name)
         kernel.on(DispatchBatch, self._on_dispatch, stream=self.name)
@@ -249,19 +334,40 @@ class StreamClient:
     def prime(self) -> None:
         """Schedule the stream's frame arrivals and end-of-stream flush.
 
-        ``StreamEnd`` is scheduled even for a stream that generates no frames
-        (an empty sequence, or a churn window that closes before the first
-        arrival): leave-side consumers — remap triggers, traces, per-stream
-        accounting — rely on every stream announcing its end.
+        On the ``"stack"`` data plane the scheduled ``FrameReady`` events
+        carry ``(stack, index)`` references straight out of the rendered
+        stack — no frame objects are built.  ``StreamEnd`` is scheduled even
+        for a stream that generates no frames (an empty sequence, or a churn
+        window that closes before the first arrival): leave-side consumers —
+        remap triggers, traces, per-stream accounting — rely on every stream
+        announcing its end.
         """
-        frames = self.source.generate_frames()
-        self.report.frames_generated += len(frames)
-        for arrival, frame in frames:
-            self.kernel.schedule(FrameReady(time=arrival, stream=self.name, frame=frame))
+        if self.dataplane == "stack":
+            stack, _ = self.source.generate_stack()
+            count = 0 if stack is None else len(stack)
+            self.report.frames_generated += count
+            arrival_times = self.source.arrival_times()
+            for i in range(count):
+                self.kernel.schedule(
+                    FrameReady(
+                        time=arrival_times[i],
+                        stream=self.name,
+                        stack=stack,
+                        index=i,
+                    )
+                )
+            last_arrival = arrival_times[-1] if count else self.source.start_offset
+        else:
+            frames = self.source.generate_frames()
+            self.report.frames_generated += len(frames)
+            for arrival, frame in frames:
+                self.kernel.schedule(
+                    FrameReady(time=arrival, stream=self.name, frame=frame)
+                )
+            last_arrival = frames[-1][0] if frames else self.source.start_offset
         # The last bin's computed t_end can differ from the final grayscale
         # timestamp by a few ulps; the flush must still come after every
         # frame arrival.
-        last_arrival = frames[-1][0] if frames else self.source.start_offset
         self.kernel.schedule(
             StreamEnd(
                 time=max(self.source.end_time, last_arrival), stream=self.name
@@ -284,13 +390,19 @@ class StreamClient:
     # ------------------------------------------------------------------
     def _on_frame(self, event: FrameReady) -> None:
         arrival = event.time
-        frame = event.frame
         if self.aggregator is not None:
             hardware_available = arrival >= self.executor.busy_until(self)
             # DSFA's internal inference queue (and its discarded_frames
             # counter) is not consumed here: every dispatched batch executes
             # immediately, so its evictions are bookkeeping, not real drops.
-            batch = self.aggregator.push(frame, hardware_available=hardware_available)
+            if event.stack is not None:
+                batch = self.aggregator.push_index(
+                    event.stack, event.index, hardware_available=hardware_available
+                )
+            else:
+                batch = self.aggregator.push(
+                    event.frame, hardware_available=hardware_available
+                )
             if batch is not None:
                 self.report.frames_merged += len(batch)
                 self.kernel.schedule(
@@ -311,10 +423,12 @@ class StreamClient:
                 QueueEvict(time=arrival, stream=self.name, num_frames=1, reason="backlog")
             )
             return
+        if event.stack is not None:
+            batch = SparseFrameBatch.from_stack(event.stack, event.index, event.index + 1)
+        else:
+            batch = SparseFrameBatch([event.frame])
         self.kernel.schedule(
-            DispatchBatch(
-                time=arrival, stream=self.name, batch=SparseFrameBatch([frame])
-            )
+            DispatchBatch(time=arrival, stream=self.name, batch=batch)
         )
 
     def _on_stream_end(self, event: StreamEnd) -> None:
@@ -746,6 +860,13 @@ class MultiStreamSimulator:
         the recommended mode for mixed-density fleets, where converging
         deep-layer profiles share cost-cache entries across streams and
         DSFA merges (see ``benchmarks/bench_cost_model.py``).
+    dataplane:
+        Frame transport shared by every stream (:data:`DATAPLANES`).
+        ``"stack"`` (default) ships columnar ``(stack, index)`` references
+        end to end; ``"frames"`` and ``"reference"`` are the per-frame
+        oracle transports used by the equivalence tests and
+        ``benchmarks/bench_dataplane.py``.  All three produce bit-identical
+        reports.
     kernel_factory / server_factory / cost_model_factory:
         Alternative :class:`~repro.runtime.sim.SimulationKernel` /
         :class:`SignatureServer` / :class:`~repro.runtime.sim.
@@ -767,6 +888,7 @@ class MultiStreamSimulator:
         remap_policy: Optional[RemapPolicy] = None,
         retain_records: bool = True,
         cost_mode: str = "flat",
+        dataplane: str = "stack",
         kernel_factory: Optional[Callable[..., SimulationKernel]] = None,
         server_factory: Optional[Callable[..., SignatureServer]] = None,
         cost_model_factory: Optional[Callable[..., NetworkCostModel]] = None,
@@ -784,6 +906,10 @@ class MultiStreamSimulator:
             raise ValueError(
                 f"unknown cost_mode {cost_mode!r}; expected one of {COST_MODES}"
             )
+        if dataplane not in DATAPLANES:
+            raise ValueError(
+                f"unknown dataplane {dataplane!r}; expected one of {DATAPLANES}"
+            )
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.shards = shards
@@ -800,6 +926,7 @@ class MultiStreamSimulator:
             remap_policy=remap_policy,
             retain_records=retain_records,
             cost_mode=cost_mode,
+            dataplane=dataplane,
             kernel_factory=kernel_factory,
             server_factory=server_factory,
             cost_model_factory=cost_model_factory,
@@ -813,6 +940,7 @@ class MultiStreamSimulator:
         self.remap_policy = remap_policy
         self.retain_records = retain_records
         self.cost_mode = cost_mode
+        self.dataplane = dataplane
         self.kernel_factory = kernel_factory or SimulationKernel
         self.server_factory = server_factory or SignatureServer
         self.cost_model_factory = cost_model_factory or NetworkCostModel
@@ -945,6 +1073,7 @@ class MultiStreamSimulator:
                     executor=servers[signature],
                     cost_model=cost_models[signature],
                     keep_records=self.retain_records,
+                    dataplane=self.dataplane,
                 )
             )
         remaps_before = 0

@@ -386,3 +386,91 @@ def test_property_dsfa_never_loses_events_before_queue_eviction(num_frames, buck
     dsfa.flush()
     total = sum(batch.num_events for batch in dsfa.inference_queue)
     assert total == pytest.approx(sum(f.num_events for f in frames))
+
+
+class TestStackIndexProtocol:
+    """push_index(stack, i) must be step-for-step identical to push(frame_i)."""
+
+    def _config(self, mode=MergeMode.ADD):
+        return DSFAConfig(
+            event_buffer_size=6,
+            merge_bucket_size=3,
+            merge_mode=mode,
+            max_time_delay=0.004,
+            max_density_change=0.3,
+            inference_queue_depth=4,
+        )
+
+    def _frames(self, n=40):
+        return [
+            make_frame(
+                seed=i,
+                n=60 if i % 5 else 600,
+                t_start=i * 0.002,
+                t_end=(i + 1) * 0.002,
+            )
+            for i in range(n)
+        ]
+
+    @pytest.mark.parametrize("mode", list(MergeMode))
+    def test_push_index_matches_push(self, mode):
+        from repro.frames import FrameStack
+
+        frames = self._frames()
+        stack = FrameStack.from_frames(frames)
+        by_frame = DynamicSparseFrameAggregator(self._config(mode))
+        by_index = DynamicSparseFrameAggregator(self._config(mode))
+        for i, frame in enumerate(frames):
+            hw = i % 7 == 0
+            a = by_frame.push(frame, hardware_available=hw)
+            b = by_index.push_index(stack, i, hardware_available=hw)
+            assert (a is None) == (b is None), i
+            if a is not None:
+                assert len(a) == len(b)
+                for fa, fb in zip(a, b):
+                    assert frames_bit_identical(fa, fb)
+            # The occupancy counter is protocol-independent state.
+            assert by_frame.buffer_occupancy == by_index.buffer_occupancy, i
+        a, b = by_frame.flush(), by_index.flush()
+        assert len(a) == len(b)
+        for fa, fb in zip(a, b):
+            assert frames_bit_identical(fa, fb)
+        assert by_frame.merge_statistics() == by_index.merge_statistics()
+
+    def test_occupancy_counter_under_push_index(self):
+        from repro.frames import FrameStack
+
+        frames = self._frames()
+        stack = FrameStack.from_frames(frames)
+        dsfa = DynamicSparseFrameAggregator(self._config())
+        for i in range(len(stack)):
+            dsfa.push_index(stack, i, hardware_available=(i % 11 == 0))
+            assert dsfa.buffer_occupancy == sum(
+                bucket.occupancy for bucket in dsfa._buckets
+            )
+        dsfa.flush()
+        assert dsfa.buffer_occupancy == 0
+
+    def test_dispatch_is_stack_backed_for_single_stream(self):
+        from repro.frames import FrameStack
+
+        frames = self._frames(n=5)
+        stack = FrameStack.from_frames(frames)
+        dsfa = DynamicSparseFrameAggregator(self._config())
+        for i in range(len(stack)):
+            assert dsfa.push_index(stack, i) is None
+        batch = dsfa.flush()
+        # Same-stack buckets dispatch through merge_ranges into one
+        # stack-backed batch (no per-frame materialisation).
+        assert batch.stack is not None
+
+    def test_bucket_contiguity_guard(self):
+        from repro.core import StackMergeBucket
+        from repro.frames import FrameStack
+
+        stack = FrameStack.from_frames(self._frames(n=4))
+        bucket = StackMergeBucket(capacity=4, stack=stack, start=0)
+        bucket.add_index(0)
+        bucket.add_index(1)
+        with pytest.raises(RuntimeError):
+            bucket.add_index(3)

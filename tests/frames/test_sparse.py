@@ -252,3 +252,91 @@ def test_property_dense_roundtrip(seed, n):
     """Property: sparse -> dense -> sparse is the identity."""
     frame = random_sparse_frame(seed=seed, n_events=n)
     assert SparseFrame.from_dense(frame.to_dense()) == frame
+
+
+class TestStackBackedBatch:
+    def _stack(self, n=5):
+        from repro.frames import FrameStack
+
+        frames = [
+            random_sparse_frame(seed=s, t_start=0.1 * s, t_end=0.1 * (s + 1))
+            for s in range(n)
+        ]
+        return frames, FrameStack.from_frames(frames)
+
+    def test_from_stack_matches_frame_backed(self):
+        frames, stack = self._stack()
+        stacked = SparseFrameBatch.from_stack(stack, 1, 4)
+        listed = SparseFrameBatch(frames[1:4])
+        assert len(stacked) == 3
+        assert stacked.stack is stack
+        assert stacked.stack_range == (1, 4)
+        assert stacked.t_start == listed.t_start
+        assert stacked.t_end == listed.t_end
+        assert stacked.num_events == listed.num_events
+        assert stacked.mean_density == listed.mean_density
+        assert stacked.frame_densities() == listed.frame_densities()
+        for view, frame in zip(stacked, frames[1:4]):
+            assert view == frame
+
+    def test_from_stack_defaults_to_whole_stack(self):
+        frames, stack = self._stack()
+        batch = SparseFrameBatch.from_stack(stack)
+        assert len(batch) == len(frames)
+        assert batch.stack_range == (0, len(frames))
+
+    def test_from_stack_bounds_checked(self):
+        _, stack = self._stack(n=3)
+        with pytest.raises(IndexError):
+            SparseFrameBatch.from_stack(stack, -1, 2)
+        with pytest.raises(IndexError):
+            SparseFrameBatch.from_stack(stack, 2, 1)
+        with pytest.raises(IndexError):
+            SparseFrameBatch.from_stack(stack, 0, 4)
+
+    def test_frame_backed_batch_has_no_stack(self):
+        batch = SparseFrameBatch([random_sparse_frame(seed=1)])
+        assert batch.stack is None
+        assert batch.stack_range is None
+
+    def test_to_dense_matches_reference_and_frame_backed(self):
+        frames, stack = self._stack()
+        stacked = SparseFrameBatch.from_stack(stack, 1, 5)
+        assert np.array_equal(stacked.to_dense(), stacked.to_dense_reference())
+        assert np.array_equal(
+            stacked.to_dense(), SparseFrameBatch(frames[1:5]).to_dense()
+        )
+
+    def test_to_dense_empty_range(self):
+        _, stack = self._stack()
+        empty = SparseFrameBatch.from_stack(stack, 2, 2)
+        assert empty.to_dense().shape == (0, 2, 0, 0)
+        assert empty.num_events == 0.0
+        assert empty.mean_density == 0.0
+
+    def test_concatenate_adjacent_views_stays_stack_backed(self):
+        _, stack = self._stack()
+        left = SparseFrameBatch.from_stack(stack, 0, 2)
+        right = SparseFrameBatch.from_stack(stack, 2, 5)
+        merged = SparseFrameBatch.concatenate([left, right])
+        assert merged.stack is stack
+        assert merged.stack_range == (0, 5)
+        assert len(merged) == 5
+
+    def test_concatenate_non_adjacent_falls_back_to_frames(self):
+        frames, stack = self._stack()
+        left = SparseFrameBatch.from_stack(stack, 0, 2)
+        right = SparseFrameBatch.from_stack(stack, 3, 5)
+        merged = SparseFrameBatch.concatenate([left, right])
+        assert merged.stack is None
+        assert len(merged) == 4
+        for view, frame in zip(merged, frames[0:2] + frames[3:5]):
+            assert view == frame
+
+    def test_concatenate_mixed_backings(self):
+        frames, stack = self._stack()
+        stacked = SparseFrameBatch.from_stack(stack, 0, 2)
+        listed = SparseFrameBatch([random_sparse_frame(seed=9)])
+        merged = SparseFrameBatch.concatenate([stacked, listed])
+        assert merged.stack is None
+        assert len(merged) == 3

@@ -109,7 +109,11 @@ class TestViews:
         view = stack.frame(2)
         assert np.shares_memory(view.rows, stack.rows)
         assert np.shares_memory(view.pos, stack.pos)
-        assert np.shares_memory(view.flat_keys(), stack.flat_buffer())
+        # The key cache is seeded from the stack's column only when that
+        # column already exists — never computed just to seed one view.
+        assert view._flat is None
+        stack.flat_buffer()
+        assert np.shares_memory(stack.frame(2).flat_keys(), stack.flat_buffer())
 
     def test_frame_index_out_of_range(self):
         stack = FrameStack.from_frames(make_frames(n=3))
@@ -250,3 +254,153 @@ class TestJitLayer:
         if not HAS_NUMBA:
             assert plain.__name__ == "plain"
             assert parametrised.__name__ == "parametrised"
+
+
+def _pipe_echo_worker(conn):
+    # Runs in a shard-style worker process: receive a (possibly sliced)
+    # stack over the pipe, exercise a vectorized query, echo it back.
+    stack = conn.recv()
+    conn.send((stack, stack.densities().tolist()))
+    conn.close()
+
+
+class TestSlice:
+    def test_slice_views_bit_identical(self):
+        stack = FrameStack.from_frames(make_frames(n=6))
+        sliced = stack.slice(1, 4)
+        assert len(sliced) == 3
+        for view, original in zip(sliced.frames(), stack.frames()[1:4]):
+            assert frames_bit_identical(view, original)
+
+    def test_slice_is_zero_copy(self):
+        stack = FrameStack.from_frames(make_frames(n=6))
+        sliced = stack.slice(2, 5)
+        assert np.shares_memory(sliced.rows, stack.rows)
+        assert np.shares_memory(sliced.pos, stack.pos)
+        assert np.shares_memory(sliced.t_starts, stack.t_starts)
+
+    def test_slice_carries_flat_cache_only_when_present(self):
+        stack = FrameStack.from_frames(make_frames(n=4))
+        assert stack.slice(0, 2)._flat is None  # never computed for the slice
+        stack.flat_buffer()
+        cached = stack.slice(1, 3)
+        assert cached._flat is not None
+        assert np.shares_memory(cached._flat, stack._flat)
+        assert np.array_equal(cached._flat, cached.slice(0, 2).flat_buffer())
+
+    def test_slice_bounds_checked(self):
+        stack = FrameStack.from_frames(make_frames(n=4))
+        with pytest.raises(IndexError):
+            stack.slice(-1, 2)
+        with pytest.raises(IndexError):
+            stack.slice(3, 2)
+        with pytest.raises(IndexError):
+            stack.slice(0, 5)
+
+    def test_empty_slice(self):
+        stack = FrameStack.from_frames(make_frames(n=4))
+        empty = stack.slice(2, 2)
+        assert len(empty) == 0
+        assert empty.total_active == 0
+
+    def test_pickled_slice_roundtrips_and_drops_caches(self):
+        stack = FrameStack.from_frames(make_frames(n=6))
+        stack.flat_buffer()
+        stack.densities()
+        sliced = stack.slice(1, 5)
+        loaded = pickle.loads(pickle.dumps(sliced))
+        assert loaded._flat is None and loaded._dens is None
+        assert int(loaded.offsets[0]) == 0
+        for view, original in zip(loaded.frames(), sliced.frames()):
+            assert frames_bit_identical(view, original)
+        # Pickling a view serialises only the viewed elements.
+        assert len(pickle.dumps(sliced)) < len(pickle.dumps(stack))
+
+    def test_slice_survives_worker_pipe(self):
+        # The sharded kernel ships stacks to worker processes over pipes;
+        # a slice must arrive intact (rebased offsets, lazily rebuildable
+        # caches) and come back intact.
+        import multiprocessing
+
+        ctx = multiprocessing.get_context()
+        parent, child = ctx.Pipe()
+        worker = ctx.Process(target=_pipe_echo_worker, args=(child,))
+        worker.start()
+        try:
+            stack = FrameStack.from_frames(make_frames(n=6))
+            sliced = stack.slice(2, 6)
+            parent.send(sliced)
+            echoed, densities = parent.recv()
+        finally:
+            worker.join(timeout=30)
+            parent.close()
+            child.close()
+        assert worker.exitcode == 0
+        assert densities == sliced.densities().tolist()
+        for view, original in zip(echoed.frames(), sliced.frames()):
+            assert frames_bit_identical(view, original)
+
+
+class TestMergeRanges:
+    def test_adjacent_ranges_match_merge_groups(self):
+        # DSFA buckets partition a contiguous arrival run: the adjacency
+        # fast path (single parent slice) must be bit-identical to the
+        # per-group frame-view kernel.
+        frames = make_frames(n=12, nnz=60)
+        stack = FrameStack.from_frames(frames)
+        ranges = [(0, 4), (4, 6), (6, 12)]
+        merged = stack.merge_ranges(ranges)
+        reference = FrameStack.merge_groups([frames[a:b] for a, b in ranges])
+        assert len(merged) == len(ranges)
+        for view, ref in zip(merged.frames(), reference.frames()):
+            assert frames_bit_identical(view, ref)
+
+    def test_non_adjacent_ranges_match_merge_groups(self):
+        frames = make_frames(n=10, nnz=60)
+        stack = FrameStack.from_frames(frames)
+        ranges = [(0, 2), (3, 5), (8, 10)]
+        merged = stack.merge_ranges(ranges)
+        reference = FrameStack.merge_groups([frames[a:b] for a, b in ranges])
+        for view, ref in zip(merged.frames(), reference.frames()):
+            assert frames_bit_identical(view, ref)
+
+    def test_average_mode(self):
+        frames = make_frames(n=6, nnz=60)
+        stack = FrameStack.from_frames(frames)
+        ranges = [(0, 2), (2, 6)]
+        merged = stack.merge_ranges(ranges, average=True)
+        for (a, b), view in zip(ranges, merged.frames()):
+            assert frames_bit_identical(view, SparseFrame.average(frames[a:b]))
+
+    def test_single_frame_ranges(self):
+        frames = make_frames(n=3)
+        stack = FrameStack.from_frames(frames)
+        merged = stack.merge_ranges([(i, i + 1) for i in range(3)])
+        for view, frame in zip(merged.frames(), frames):
+            assert frames_bit_identical(view, SparseFrame.add_reference([frame]))
+
+    def test_time_bounds(self):
+        frames = make_frames(n=4)
+        stack = FrameStack.from_frames(frames)
+        merged = stack.merge_ranges([(0, 3), (3, 4)])
+        assert merged.t_starts[0] == frames[0].t_start
+        assert merged.t_ends[0] == frames[2].t_end
+        assert merged.t_starts[1] == frames[3].t_start
+
+    def test_result_does_not_retain_flat_cache(self):
+        # Dispatched batches sit in inference queues; the int64 key column
+        # is deliberately dropped (recomputed lazily if ever needed).
+        stack = FrameStack.from_frames(make_frames(n=4))
+        merged = stack.merge_ranges([(0, 2), (2, 4)])
+        assert merged._flat is None
+
+    def test_rejects_bad_ranges(self):
+        stack = FrameStack.from_frames(make_frames(n=4))
+        with pytest.raises(ValueError):
+            stack.merge_ranges([])
+        with pytest.raises(ValueError):
+            stack.merge_ranges([(2, 2)])
+        with pytest.raises(IndexError):
+            stack.merge_ranges([(0, 5)])
+        with pytest.raises(IndexError):
+            stack.merge_ranges([(-1, 2)])

@@ -6,6 +6,9 @@ bit-identical to ``generate_frames_reference`` (the per-interval ``convert``
 loop) across every built-in scenario family, and the end-to-end
 ``MultiStreamReport`` aggregates of a seeded 256-stream DSFA fleet must be
 unchanged when the reference frames are substituted for the stack frames.
+The end-to-end stack transport extends the bar: all three data planes
+(:data:`repro.runtime.DATAPLANES`) must produce identical aggregates on
+every family.
 """
 
 from __future__ import annotations
@@ -87,15 +90,34 @@ class TestFleetAggregatesUnchanged:
         fleet = dict(num_streams=256, duration=0.25, scale=0.1, num_bins=4, seed=42)
 
         stack_sources = registry.compile("mixed_fleet", **fleet)
-        stack_report = MultiStreamSimulator(platform, stack_sources).run()
+        stack_report = MultiStreamSimulator(
+            platform, stack_sources, dataplane="stack"
+        ).run()
 
         oracle_sources = registry.compile("mixed_fleet", **fleet)
         for source in oracle_sources:
             # Pre-seed the render cache with the per-interval oracle frames:
-            # the simulation then consumes the pre-columnar data plane.
+            # the reference data plane then consumes the fully pre-columnar
+            # pipeline — oracle render, per-frame transport, reference DSFA.
             source._frames = source.generate_frames_reference()
-        oracle_report = MultiStreamSimulator(platform, oracle_sources).run()
+        oracle_report = MultiStreamSimulator(
+            platform, oracle_sources, dataplane="reference"
+        ).run()
 
         assert stack_report.num_streams == 256
         assert stack_report.total_inferences > 0
         assert _aggregates(stack_report) == _aggregates(oracle_report)
+
+    def test_all_families_aggregates_identical_across_dataplanes(
+        self, registry, platform
+    ):
+        for family in registry.families():
+            results = {}
+            for dataplane in ("stack", "frames", "reference"):
+                sources = registry.compile(family, **SMALL)
+                report = MultiStreamSimulator(
+                    platform, sources, dataplane=dataplane
+                ).run()
+                results[dataplane] = _aggregates(report)
+            assert results["stack"] == results["frames"], family
+            assert results["stack"] == results["reference"], family

@@ -488,3 +488,61 @@ class TestDropAccountingConsistency:
         for name, stream in report.reports.items():
             assert stream.frames_dropped == evicted.get(name, 0), name
         assert report.frames_dropped == sum(evicted.values())
+
+
+class TestStackTransportAccounting:
+    """Aggregate invariants of the end-to-end stack data plane."""
+
+    @staticmethod
+    def _aggregates(report):
+        return (
+            report.num_streams,
+            report.total_inferences,
+            report.frames_generated,
+            report.frames_dropped,
+            report.total_energy,
+            report.makespan,
+            report.mean_latency,
+            report.throughput,
+        )
+
+    def test_retain_records_toggle_keeps_aggregates(self, platform, sequence, network):
+        kept = MultiStreamSimulator(
+            platform, make_sources(sequence, network, 6), retain_records=True
+        ).run()
+        slim = MultiStreamSimulator(
+            platform, make_sources(sequence, network, 6), retain_records=False
+        ).run()
+        assert self._aggregates(kept) == self._aggregates(slim)
+        assert any(len(r.records) > 0 for r in kept.reports.values())
+        assert all(len(r.records) == 0 for r in slim.reports.values())
+
+    def test_stack_index_evictions_match_drop_totals(self, platform, sequence):
+        # Stack-index transport must keep the QueueEvict accounting exact:
+        # every dropped frame corresponds to an evicted stack index, and the
+        # per-frame data plane evicts the same totals.
+        heavy = build_network("adaptive_spikenet", 128, 128)
+        config = EvEdgeConfig(
+            num_bins=10,
+            optimization=OptimizationLevel.E2SF_DSFA,
+            dsfa=DSFAConfig(inference_queue_depth=1),
+        )
+        totals = {}
+        for dataplane in ("stack", "frames"):
+            sources = [
+                StreamSource(f"s{i}", sequence, heavy, config, start_offset=0.001 * i)
+                for i in range(8)
+            ]
+            trace = KernelTrace()
+            report = MultiStreamSimulator(
+                platform, sources, dataplane=dataplane
+            ).run(trace=trace)
+            evicted = sum(
+                int(dict(p.split("=", 1) for p in e.detail.split())["frames"])
+                for e in trace.entries
+                if e.kind == "QueueEvict"
+            )
+            assert report.frames_dropped > 0
+            assert report.frames_dropped == evicted
+            totals[dataplane] = (report.frames_dropped, self._aggregates(report))
+        assert totals["stack"] == totals["frames"]
