@@ -9,6 +9,13 @@ MultiStreamSimulator` results:
 * :func:`run_streams_unbatched` — all streams share one platform but
   cross-stream batching is disabled (``max_merge_streams=1``), isolating
   how much of the shared-platform throughput comes from merging.
+
+Both baselines default to ``cost_mode="profile"`` — the same propagated
+per-layer occupancy semantics the simulator they bracket runs under (a
+bracket costed on different semantics than its subject would not bracket
+anything).  The mode is recorded in every returned report
+(``PipelineReport.cost_mode`` / ``MultiStreamReport.cost_mode``); pass
+``cost_mode="flat"`` for the seed-identical scalar path.
 """
 
 from __future__ import annotations
@@ -29,12 +36,14 @@ def run_streams_isolated(
     platform: Platform,
     latency_model: Optional[LatencyModel] = None,
     energy_model: Optional[EnergyModel] = None,
+    cost_mode: str = "profile",
 ) -> Dict[str, PipelineReport]:
     """Run every stream on a private copy of the platform (no contention).
 
     Each stream is simulated independently with the single-stream pipeline,
     as if it owned the hardware outright — the per-stream latency floor the
-    shared-platform simulation is compared against.
+    shared-platform simulation is compared against.  Each returned report
+    records the ``cost_mode`` it was costed under.
     """
     reports: Dict[str, PipelineReport] = {}
     for source in sources:
@@ -45,6 +54,7 @@ def run_streams_isolated(
             mapping=source.mapping,
             latency_model=latency_model,
             energy_model=energy_model,
+            cost_mode=cost_mode,
         )
         reports[source.name] = pipeline.run(source.sequence)
     return reports
@@ -55,6 +65,7 @@ def run_streams_unbatched(
     platform: Platform,
     latency_model: Optional[LatencyModel] = None,
     energy_model: Optional[EnergyModel] = None,
+    cost_mode: str = "profile",
 ) -> MultiStreamReport:
     """Share one platform across streams with cross-stream batching disabled."""
     simulator = MultiStreamSimulator(
@@ -63,5 +74,6 @@ def run_streams_unbatched(
         latency_model=latency_model,
         energy_model=energy_model,
         max_merge_streams=1,
+        cost_mode=cost_mode,
     )
     return simulator.run()

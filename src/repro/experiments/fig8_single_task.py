@@ -103,13 +103,19 @@ def run_fig8(
         reports = {}
         for level, mapping in levels.items():
             config = EvEdgeConfig(num_bins=settings.num_bins, dsfa=dsfa, optimization=level)
-            pipeline = EvEdgePipeline(network, platform, config, mapping=mapping)
+            # Profile-mode costing: every level (baseline included) is costed
+            # on propagated per-layer occupancies, so the reported ratios
+            # compare like with like.
+            pipeline = EvEdgePipeline(
+                network, platform, config, mapping=mapping, cost_mode="profile"
+            )
             reports[level] = pipeline.run(sequence)
         base = reports[OptimizationLevel.BASELINE]
         row: Dict[str, object] = {
             "network": name,
             "type": network.network_type,
             "sequence": NETWORK_SEQUENCES[name],
+            "cost_mode": base.cost_mode,
             "baseline_latency_ms": base.mean_latency * 1e3,
             "baseline_energy_j": base.total_energy,
         }

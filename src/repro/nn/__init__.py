@@ -10,7 +10,19 @@ from .quantization import (
     quantization_error,
     quantize,
 )
-from .occupancy import OccupancyProfile, layer_output_occupancy, propagate_occupancy
+from .calibration import (
+    CalibrationResult,
+    estimate_firing_fractions,
+    fit_firing_fractions,
+)
+from .occupancy import (
+    OccupancyProfile,
+    combine_supports,
+    layer_output_occupancy,
+    propagate_occupancy,
+    propagate_occupancy_chain,
+    propagate_occupancy_graph,
+)
 from .snn import LIFParameters, LIFState, lif_run, lif_step, spike_rate
 from .sparse_conv import (
     dense_conv2d,
@@ -35,8 +47,14 @@ __all__ = [
     "MultiTaskGraph",
     "TaskSpec",
     "OccupancyProfile",
+    "combine_supports",
     "layer_output_occupancy",
     "propagate_occupancy",
+    "propagate_occupancy_chain",
+    "propagate_occupancy_graph",
+    "CalibrationResult",
+    "estimate_firing_fractions",
+    "fit_firing_fractions",
     "Precision",
     "quantize",
     "dequantize",

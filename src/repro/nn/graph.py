@@ -165,14 +165,40 @@ class LayerGraph:
 
         Propagates the measured input density through the compute layers in
         topological order using the support-dilation / activation-
-        sparsification rules of :mod:`repro.nn.occupancy` — the serial
-        composition the runtime cost models walk.  Entries are raw
-        (unquantized); the layered cost stack buckets them per layer.
+        sparsification rules of :mod:`repro.nn.occupancy`, following the
+        *graph*: at multi-input nodes each predecessor's output support is
+        dilated independently and the supports are combined (union for
+        element-wise fusion, channel-weighted mean for concat-style skips)
+        before the consumer's firing fraction applies.  For purely serial
+        networks this is bit-identical to the legacy chain walk.  Entries
+        are raw (unquantized); the layered cost stack buckets them per
+        layer.
         """
-        from .occupancy import propagate_occupancy
+        from .occupancy import propagate_occupancy_graph
 
-        specs = [spec for spec in self.layers() if spec.kind.is_compute]
-        return propagate_occupancy(specs, input_density)
+        return propagate_occupancy_graph(self, input_density)
+
+    def with_firing_fractions(self, fractions: Dict[str, float]) -> "LayerGraph":
+        """Copy of the graph with calibrated per-layer firing fractions.
+
+        ``fractions`` maps layer names to observed firing fractions
+        ``f in (0, 1]``; each named layer's ``activation_sparsity`` becomes
+        ``1 - f``.  Layers not named keep their configured sparsity.  This
+        is the write-back half of the measure → calibrate → re-cost loop
+        (:mod:`repro.nn.calibration` produces the fractions).
+        """
+        clone = self.copy()
+        for name, fraction in fractions.items():
+            if name not in clone._graph:
+                raise KeyError(f"unknown layer '{name}' in {self.name}")
+            f = float(fraction)
+            if not 0.0 < f <= 1.0:
+                raise ValueError(
+                    f"layer {name}: firing fraction must be in (0, 1], got {f}"
+                )
+            spec = clone._graph.nodes[name]["spec"]
+            clone._graph.nodes[name]["spec"] = spec.with_sparsity(1.0 - f)
+        return clone
 
     def critical_path_macs(self) -> int:
         """MACs along the longest dependency chain (lower bound on serial work)."""

@@ -36,14 +36,20 @@ traffic after per-layer bucketing.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .layers import LayerKind, LayerSpec
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (graph imports us lazily)
+    from .graph import LayerGraph
+
 __all__ = [
     "OccupancyProfile",
+    "combine_supports",
     "layer_output_occupancy",
     "propagate_occupancy",
+    "propagate_occupancy_chain",
+    "propagate_occupancy_graph",
 ]
 
 
@@ -79,7 +85,7 @@ def layer_output_occupancy(spec: LayerSpec, occupancy: float) -> float:
     return _clamp(1.0 - (1.0 - d) ** receptive)
 
 
-def propagate_occupancy(
+def propagate_occupancy_chain(
     specs: Sequence[LayerSpec], input_occupancy: float
 ) -> Tuple[float, ...]:
     """Per-layer *input* occupancies for ``specs`` executed as a serial chain.
@@ -91,6 +97,13 @@ def propagate_occupancy(
     scaled by the consuming layer's modelled firing fraction
     (``1 - activation_sparsity``): activation sparsification caps how much
     of the dilated support actually carries activity.
+
+    For a purely serial network this is exactly what
+    :func:`propagate_occupancy_graph` computes (bit-identical — the graph
+    walker runs the same float ops for single-predecessor nodes), which is
+    why the chain survives as the serial oracle.  For a DAG it is *wrong*
+    at every join: the chain dilates whichever spec happened to precede
+    the join in topological order and ignores the other branches.
     """
     occ = _clamp(input_occupancy)
     entries: List[float] = []
@@ -102,6 +115,93 @@ def propagate_occupancy(
         entries.append(occ)
         previous = spec
     return tuple(entries)
+
+
+#: Backward-compatible alias — PR-4..8 callers imported the chain walker
+#: under this name.  New code should pick the chain or graph walker
+#: explicitly.
+propagate_occupancy = propagate_occupancy_chain
+
+
+def combine_supports(
+    consumer: LayerSpec,
+    supports: Sequence[float],
+    weights: Sequence[float],
+) -> float:
+    """Combine several predecessors' dilated output supports at a join node.
+
+    Two join semantics exist in the zoo's DAGs:
+
+    * **Element-wise fusion** (``consumer.kind is ELEMENTWISE``) — the
+      branches are added/merged site-by-site, so under the
+      independent-site model a fused site is active when *any* branch is:
+      ``1 - prod(1 - d_i)`` (the union).
+    * **Concat-style skip connections** (everything else) — the branches
+      are stacked along the channel axis, so the consumer's input
+      occupancy is the channel-weighted mean of the branch occupancies
+      (``weights`` are the producers' ``out_channels``).
+    """
+    if len(supports) != len(weights):
+        raise ValueError("supports and weights must have the same length")
+    if not supports:
+        raise ValueError("cannot combine an empty set of supports")
+    if consumer.kind is LayerKind.ELEMENTWISE:
+        survive = 1.0
+        for d in supports:
+            survive *= 1.0 - _clamp(d)
+        return _clamp(1.0 - survive)
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("combined support weights must sum to a positive value")
+    return _clamp(sum(d * w for d, w in zip(supports, weights)) / total)
+
+
+def propagate_occupancy_graph(
+    graph: "LayerGraph", input_occupancy: float
+) -> Tuple[float, ...]:
+    """Per-layer *input* occupancies for ``graph``'s compute layers.
+
+    Visits the compute nodes in topological order.  Source compute nodes
+    (no compute predecessors) receive the measured ``input_occupancy`` —
+    for a two-stream network every stream head sees the measured input,
+    instead of the chain walker's accident of dilating whichever spec
+    preceded it in topological order.  Every other node dilates *each*
+    compute predecessor's recorded entry through that predecessor's own
+    receptive field (:func:`layer_output_occupancy`), combines multiple
+    predecessor supports with :func:`combine_supports` (union for
+    element-wise fusion, channel-weighted mean for concat-style skips)
+    and applies its own firing fraction ``1 - activation_sparsity``.
+
+    Entries are returned in topological order over compute layers — the
+    same order as ``graph.layers()`` filtered to compute specs, which is
+    the order the runtime cost models resolve their layer assignments in.
+    """
+    occ_in = _clamp(input_occupancy)
+    entries: Dict[str, float] = {}
+    order: List[str] = []
+    for name in graph.layer_names():
+        spec = graph.layer(name)
+        if not spec.kind.is_compute:
+            continue
+        preds = [p for p in graph.predecessors(name) if graph.layer(p).kind.is_compute]
+        if not preds:
+            occ = occ_in
+        else:
+            dilated = [
+                layer_output_occupancy(graph.layer(p), entries[p]) for p in preds
+            ]
+            if len(dilated) == 1:
+                occ = dilated[0]
+            else:
+                occ = combine_supports(
+                    spec,
+                    dilated,
+                    [float(max(graph.layer(p).out_channels, 1)) for p in preds],
+                )
+            occ *= 1.0 - spec.activation_sparsity
+        entries[name] = occ
+        order.append(name)
+    return tuple(entries[n] for n in order)
 
 
 class OccupancyProfile:
@@ -134,8 +234,19 @@ class OccupancyProfile:
     def propagate(
         cls, specs: Sequence[LayerSpec], input_occupancy: float
     ) -> "OccupancyProfile":
-        """Propagated per-layer profile for one input density."""
-        return cls(propagate_occupancy(specs, input_occupancy))
+        """Chain-propagated per-layer profile for one input density.
+
+        Serial-chain semantics (:func:`propagate_occupancy_chain`); the
+        legacy oracle path.  Graph-aware callers use :meth:`from_graph`.
+        """
+        return cls(propagate_occupancy_chain(specs, input_occupancy))
+
+    @classmethod
+    def from_graph(
+        cls, graph: "LayerGraph", input_occupancy: float
+    ) -> "OccupancyProfile":
+        """Graph-propagated per-layer profile for one input density."""
+        return cls(propagate_occupancy_graph(graph, input_occupancy))
 
     @classmethod
     def combine(

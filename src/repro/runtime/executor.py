@@ -97,7 +97,9 @@ class SerialExecutor:
             energy=energy,
         )
         self.kernel.schedule(
-            InferenceDone(time=end, stream=client.name, records=(record,))
+            InferenceDone(
+                time=end, stream=client.name, records=(record,), profile=profile
+            )
         )
 
 
@@ -318,7 +320,12 @@ class SignatureServer:
             # merge and distort the backlog drop rule.
             member.client.note_dispatch(latency * share)
             self.kernel.schedule(
-                InferenceDone(time=end, stream=member.client.name, records=(record,))
+                InferenceDone(
+                    time=end,
+                    stream=member.client.name,
+                    records=(record,),
+                    profile=profile,
+                )
             )
         # The server's own completion event drives pending-queue draining.
         self.kernel.schedule(InferenceDone(time=end, stream=self.name, records=()))

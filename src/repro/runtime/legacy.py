@@ -27,6 +27,11 @@ as oracles so that claim stays machine-checked:
   bucket mints its own copy of every layer cell — the memo-thrashing
   behaviour ``benchmarks/bench_cost_model.py`` quantifies against the
   layered stack.
+* :class:`ChainCostModel` — the pre-graph *chain-propagated* cost stack
+  on the layered caching architecture: profiles come from the serial topo
+  chain walk instead of graph propagation.  The divergence tests use it
+  to pin that graph propagation is bit-identical on serial networks and
+  diverges exactly at DAG join nodes.
 * :class:`ReferenceAggregator` — the fully per-frame DSFA driven by the
   ``"reference"`` data plane: placement probes re-merge whole frame lists
   per call (``SparseFrame.add_reference``) and every dispatch merges bucket
@@ -72,6 +77,7 @@ __all__ = [
     "LegacyScanKernel",
     "LegacyListServer",
     "ScalarCostModel",
+    "ChainCostModel",
     "ReferenceMergeBucket",
     "ReferenceAggregator",
 ]
@@ -215,9 +221,10 @@ class ScalarCostModel(NetworkCostModel):
             return super()._build_profile(occ_key)
         if len(self._assignments) <= 1:
             return super()._build_profile(occ_key)
-        specs = [spec for spec, _, _ in self._assignments]
-        # Raw propagated entries: no per-layer bucketing.
-        return OccupancyProfile.propagate(specs, occ_key)
+        # Same graph-propagated semantics as the layered stack — the two
+        # models differ *only* in caching architecture — but raw entries:
+        # no per-layer bucketing.
+        return OccupancyProfile.from_graph(self.network, occ_key)
 
     def _bucket_profile(self, profile):
         # Merge-time combinations stay raw too: the scalar-keyed stack has
@@ -231,6 +238,37 @@ class ScalarCostModel(NetworkCostModel):
         # Flat mode must key layer cells exactly as PR-4 did (bucketed);
         # profile mode keys the raw propagated occupancies.
         return self.cost_mode != "profile"
+
+
+class ChainCostModel(NetworkCostModel):
+    """The pre-graph *chain-propagated* cost stack, kept alive as an oracle.
+
+    Identical to :class:`~repro.runtime.sim.NetworkCostModel` in every
+    architectural respect (per-layer bucketing, layered memoization) but
+    builds its profiles with the serial chain walk
+    (:func:`~repro.nn.occupancy.propagate_occupancy_chain`) instead of
+    graph propagation.  The divergence tests pin the graph refactor's
+    semantics against it:
+
+    * **serial networks** — graph propagation must be bit-identical to
+      this model (every node has at most one predecessor, so the walks
+      run the same float ops);
+    * **DAG networks** — the models *must* diverge exactly at the join
+      nodes, where the chain walk dilates whichever spec happened to
+      precede the join in topological order and ignores the other
+      branches.
+
+    Like the other legacy implementations this is deliberately
+    unoptimized verification code — do not use it in production clients.
+    """
+
+    def _build_profile(self, occ_key):
+        num_layers = len(self._assignments)
+        if self.cost_mode == "flat" or occ_key is None or num_layers <= 1:
+            return OccupancyProfile.flat(occ_key, num_layers)
+        specs = [spec for spec, _, _ in self._assignments]
+        raw = OccupancyProfile.propagate(specs, occ_key)
+        return raw.bucketed(self.table.bucket)
 
 
 class ReferenceMergeBucket(MergeBucket):

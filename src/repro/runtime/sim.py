@@ -124,6 +124,7 @@ class PipelineReport:
         "frames_merged",
         "frames_dropped",
         "keep_records",
+        "cost_mode",
         "_num_records",
         "_latency_sum",
         "_energy_sum",
@@ -137,6 +138,9 @@ class PipelineReport:
         self.frames_merged = 0
         self.frames_dropped = 0
         self.keep_records = keep_records
+        # Cost-stack semantics the run was costed under ("flat"/"profile");
+        # stamped by the stream client, None until a cost model is attached.
+        self.cost_mode: Optional[str] = None
         self._num_records = 0
         self._latency_sum = 0.0
         self._energy_sum = 0.0
@@ -165,6 +169,9 @@ class PipelineReport:
         scale).  Neither input is mutated.
         """
         merged = PipelineReport(keep_records=self.keep_records and other.keep_records)
+        merged.cost_mode = (
+            self.cost_mode if self.cost_mode == other.cost_mode else "mixed"
+        )
         merged.frames_generated = self.frames_generated + other.frames_generated
         merged.frames_merged = self.frames_merged + other.frames_merged
         merged.frames_dropped = self.frames_dropped + other.frames_dropped
@@ -268,9 +275,15 @@ class SimEvent:
 
 
 class InferenceDone(SimEvent):
-    """An inference finished; carries the per-stream records it produced."""
+    """An inference finished; carries the per-stream records it produced.
 
-    __slots__ = ("records",)
+    ``profile`` is the resolved per-layer occupancy profile the dispatch
+    was costed at (``None`` for bookkeeping wake-ups that carry no
+    records) — the raw material of trace-driven firing-fraction
+    calibration (:mod:`repro.nn.calibration`).
+    """
+
+    __slots__ = ("records", "profile")
 
     PRIORITY = 0
 
@@ -279,9 +292,11 @@ class InferenceDone(SimEvent):
         time: float,
         stream: str = "",
         records: Tuple[InferenceRecord, ...] = (),
+        profile: Optional["OccupancyProfile"] = None,
     ) -> None:
         super().__init__(time, stream)
         self.records = records
+        self.profile = profile
 
     def trace_detail(self) -> str:
         frames = sum(r.num_frames for r in self.records)
@@ -806,12 +821,20 @@ class NetworkCostModel:
     # occupancy profiles
     # ------------------------------------------------------------------
     def _build_profile(self, occ_key: Optional[float]) -> OccupancyProfile:
-        """Profile for one *bucketed* input occupancy (subclass hook)."""
+        """Profile for one *bucketed* input occupancy (subclass hook).
+
+        Propagation follows the network *graph*: multi-input layers see the
+        combined support of all their predecessors rather than whichever
+        spec happened to precede them in topological order.  The entries
+        come back in the same topo order the assignments were resolved in
+        (``network.layers()`` filtered to compute specs), so memoization
+        keys and per-layer bucketing are unchanged — and for purely serial
+        networks the result is bit-identical to the chain walk.
+        """
         num_layers = len(self._assignments)
         if self.cost_mode == "flat" or occ_key is None or num_layers <= 1:
             return OccupancyProfile.flat(occ_key, num_layers)
-        specs = [spec for spec, _, _ in self._assignments]
-        raw = OccupancyProfile.propagate(specs, occ_key)
+        raw = OccupancyProfile.from_graph(self.network, occ_key)
         return raw.bucketed(self.table.bucket)
 
     def occupancy_profile(self, occupancy: Optional[float]) -> OccupancyProfile:

@@ -314,6 +314,7 @@ class StreamClient:
         self.dataplane = dataplane
         self.queue_depth = source.config.dsfa.inference_queue_depth
         self.report = PipelineReport(keep_records=keep_records)
+        self.report.cost_mode = cost_model.cost_mode
         if not source.config.optimization.uses_dsfa:
             self.aggregator = None
         elif dataplane == "reference":

@@ -29,12 +29,19 @@ __all__ = [
 
 @dataclass(frozen=True)
 class TraceEntry:
-    """One processed kernel event."""
+    """One processed kernel event.
+
+    ``profile`` is the resolved per-layer occupancy profile of an
+    inference completion (``None`` for every other event kind and for
+    server wake-ups) — kept as the event carried it, so calibration can
+    re-fit firing fractions from a finished trace.
+    """
 
     time: float
     kind: str
     stream: str
     detail: str = ""
+    profile: Optional[tuple] = None
 
 
 class KernelTrace:
@@ -71,12 +78,14 @@ class KernelTrace:
         if self.max_events is not None and len(self.entries) >= self.max_events:
             self.dropped_entries += 1
             return
+        profile = getattr(event, "profile", None)
         self.entries.append(
             TraceEntry(
                 time=event.time,
                 kind=type(event).__name__,
                 stream=event.stream,
                 detail=event.trace_detail() if self.record_details else "",
+                profile=None if profile is None else tuple(profile),
             )
         )
 
@@ -97,15 +106,55 @@ class KernelTrace:
             out[entry.kind] = out.get(entry.kind, 0) + 1
         return out
 
+    def profiles(self) -> List[tuple]:
+        """Resolved per-dispatch occupancy profiles, in completion order.
+
+        One tuple per inference completion that carried a profile (server
+        wake-ups and non-inference events are skipped) — the input
+        :func:`repro.nn.calibration.fit_firing_fractions` consumes.
+        """
+        return [e.profile for e in self.entries if e.profile is not None]
+
+    @staticmethod
+    def _format_profile(profile: tuple) -> str:
+        """Compact one-line rendering of a per-dispatch profile.
+
+        Flat profiles show the single measured occupancy; propagated
+        profiles show the head of the cascade and the converged deep
+        value — the point where mixed-density dispatches start sharing
+        deep-layer cache cells is visible as the entries flattening out.
+        """
+        if not profile:
+            return ""
+        if all(e is None for e in profile[1:]):
+            first = profile[0]
+            head = "none" if first is None else f"{first:.4f}"
+            return f"occ[{head} flat x{len(profile)}]"
+        shown = [f"{e:.4f}" if e is not None else "none" for e in profile[:3]]
+        if len(profile) > 4:
+            shown.append("..")
+        if len(profile) > 3:
+            last = profile[-1]
+            shown.append(f"{last:.4f}" if last is not None else "none")
+        return f"occ[{'>'.join(shown)} x{len(profile)}]"
+
     def format_log(self, max_rows: int = 40) -> str:
-        """Render the first ``max_rows`` entries as an aligned event log."""
+        """Render the first ``max_rows`` entries as an aligned event log.
+
+        Inference completions that carried a resolved occupancy profile
+        get a compact per-dispatch profile column after the detail text.
+        """
         if not self.entries:
             return "(empty trace)"
         lines = []
         for entry in self.entries[:max_rows]:
+            detail = entry.detail
+            if entry.profile is not None:
+                column = self._format_profile(entry.profile)
+                detail = f"{detail}  {column}" if detail else column
             lines.append(
                 f"{entry.time * 1e3:10.3f} ms  {entry.kind:<14s} "
-                f"{entry.stream:<24s} {entry.detail}"
+                f"{entry.stream:<24s} {detail}"
             )
         hidden = max(len(self.entries) - max_rows, 0) + self.dropped_entries
         if hidden > 0:

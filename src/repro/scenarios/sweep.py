@@ -71,7 +71,10 @@ PLATFORMS = {
 # same-family streams share rendered sequences through a seed pool.
 # v4: policies gain a ``shards`` axis (sharded runtime) and rows record it;
 # cells cached by unsharded runs must not alias sharded ones.
-_CACHE_SALT = "scenario-sweep-v4"
+# v5: graph-aware occupancy propagation — profile-mode costs change for every
+# DAG network (multi-input layers now combine all predecessor supports), so
+# profile cells cached under the chain walk are stale.
+_CACHE_SALT = "scenario-sweep-v5"
 
 
 @dataclass(frozen=True)

@@ -24,7 +24,8 @@ from repro.runtime import (
     OccupancyProfile,
     StreamSource,
 )
-from repro.runtime.legacy import ScalarCostModel
+from repro.nn import LayerGraph, LayerKind, LayerSpec
+from repro.runtime.legacy import ChainCostModel, ScalarCostModel
 
 
 def assert_reports_identical(new, old):
@@ -86,14 +87,35 @@ def mixed_density_sources(network):
     return sources
 
 
-def _sparse_model(network, platform, **kwargs):
-    return NetworkCostModel(
+def _sparse_model(network, platform, model_cls=NetworkCostModel, **kwargs):
+    return model_cls(
         network,
         platform,
         config=EvEdgeConfig(optimization=OptimizationLevel.E2SF_DSFA),
         table=LayerCostTable(occupancy_resolution=1.0 / 64.0),
         **kwargs,
     )
+
+
+def _serial_network(depth: int = 8) -> LayerGraph:
+    """A purely serial spiking chain (no skips, no joins)."""
+    g = LayerGraph("serial_chain", task="optical_flow")
+    g.chain(
+        [
+            LayerSpec(
+                name=f"conv{i}",
+                kind=LayerKind.CONV_LIF,
+                in_channels=8,
+                out_channels=8,
+                in_height=32,
+                in_width=32,
+                kernel_size=3,
+                activation_sparsity=0.85,
+            )
+            for i in range(depth)
+        ]
+    )
+    return g
 
 
 class TestOccupancyProfileBuilding:
@@ -134,8 +156,13 @@ class TestOccupancyProfileBuilding:
         b = model.occupancy_profile(0.1005)  # same 1/64 bucket
         assert a is b
 
-    def test_converged_deep_buckets_shared_across_densities(self, network, platform):
-        model = _sparse_model(network, platform, cost_mode="profile")
+    def test_converged_deep_buckets_shared_across_densities(self, platform):
+        # Convergence onto shared deep buckets is a *serial* property: on a
+        # chain the propagation is a contraction onto the modelled-activity
+        # fixed point.  (Skip connections re-inject shallow, input-dependent
+        # occupancies into a DAG's decoders, so graph propagation keeps DAG
+        # profiles density-dependent much deeper — by design.)
+        model = _sparse_model(_serial_network(12), platform, cost_mode="profile")
         a = model.occupancy_profile(0.05)
         b = model.occupancy_profile(0.12)
         assert a.entries[0] != b.entries[0]
@@ -288,6 +315,60 @@ class TestProfileCosts:
         assert lat_prof <= lat_flat
         assert en_prof <= en_flat
         assert lat_prof > 0 and en_prof > 0
+
+
+class TestGraphChainDivergence:
+    """Pin where graph propagation agrees with the chain oracle — and where
+    it must not.  :class:`ChainCostModel` is the layered caching
+    architecture with the pre-graph serial chain walk, so any difference
+    between the two models is propagation semantics, nothing else."""
+
+    def test_serial_network_bit_identical_to_chain_oracle(self, platform):
+        graph_model = _sparse_model(_serial_network(8), platform, cost_mode="profile")
+        chain_model = _sparse_model(
+            _serial_network(8), platform, model_cls=ChainCostModel, cost_mode="profile"
+        )
+        for occ in (1e-4, 0.02, 0.1, 0.5, 1.0):
+            assert graph_model.occupancy_profile(occ) == chain_model.occupancy_profile(
+                occ
+            )
+            assert graph_model.inference_cost(occ, 2) == chain_model.inference_cost(
+                occ, 2
+            )
+
+    def test_dag_network_diverges_from_chain_oracle_at_joins(self, network, platform):
+        graph_model = _sparse_model(network, platform, cost_mode="profile")
+        chain_model = _sparse_model(
+            network, platform, model_cls=ChainCostModel, cost_mode="profile"
+        )
+        a = graph_model.occupancy_profile(0.1)
+        b = chain_model.occupancy_profile(0.1)
+        names = [s.name for s in network.layers() if s.kind.is_compute]
+        first_join = next(
+            i
+            for i, n in enumerate(names)
+            if len(
+                [
+                    p
+                    for p in network.predecessors(n)
+                    if network.layer(p).kind.is_compute
+                ]
+            )
+            > 1
+        )
+        # The serial prefix before the first join is untouched...
+        assert a.entries[:first_join] == b.entries[:first_join]
+        # ...and the models *must* diverge once joins start combining
+        # predecessor supports the chain walk ignores.
+        assert a.entries[first_join:] != b.entries[first_join:]
+
+    def test_flat_mode_unaffected_by_graph_refactor(self, network, platform):
+        graph_model = _sparse_model(network, platform)
+        chain_model = _sparse_model(network, platform, model_cls=ChainCostModel)
+        for occ in (0.02, 0.3):
+            assert graph_model.inference_cost(occ, 1) == chain_model.inference_cost(
+                occ, 1
+            )
 
 
 class TestHardwareProfileHooks:

@@ -226,6 +226,37 @@ class TestKernelTrace:
         assert trace.entries[0].detail == ""
         assert trace.entries[0].stream == "s"
 
+    def test_inference_profiles_recorded_and_rendered(self):
+        from repro.runtime.sim import InferenceDone
+
+        trace = KernelTrace()
+        kernel = SimulationKernel(trace=trace)
+        propagated = (0.12, 0.05, 0.031, 0.031, 0.031)
+        kernel.schedule(
+            InferenceDone(time=0.001, stream="cam0", profile=propagated)
+        )
+        kernel.schedule(InferenceDone(time=0.002, stream="server"))  # wake-up
+        kernel.schedule(
+            InferenceDone(time=0.003, stream="cam1", profile=(0.25, None, None))
+        )
+        kernel.run()
+        # profiles() keeps only completions that carried a profile.
+        assert trace.profiles() == [propagated, (0.25, None, None)]
+        log = trace.format_log()
+        # Propagated profiles show the cascade head, the converged deep
+        # value and the layer count; flat ones show the single occupancy.
+        assert "occ[0.1200>0.0500>0.0310>..>0.0310 x5]" in log
+        assert "occ[0.2500 flat x3]" in log
+
+    def test_profile_column_absent_for_non_inference_events(self):
+        trace = KernelTrace()
+        kernel = SimulationKernel(trace=trace)
+        kernel.schedule(FrameReady(time=0.5, stream="cam0"))
+        kernel.run()
+        assert trace.entries[0].profile is None
+        assert trace.profiles() == []
+        assert "occ[" not in trace.format_log()
+
 
 class TestLayerCostTable:
     """Satellite: the memo table must agree with direct model calls."""

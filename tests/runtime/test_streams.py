@@ -307,6 +307,53 @@ def _manual_server(platform, sequence, network, max_merge_streams, num_clients):
     return kernel, server, clients, frames
 
 
+class TestMultiStreamBaselines:
+    """Bracket audit of the multi-stream baselines in both cost modes."""
+
+    def test_baselines_default_to_profile_mode_and_record_it(
+        self, platform, sequence, network
+    ):
+        from repro.baselines import run_streams_isolated, run_streams_unbatched
+
+        sources = make_sources(sequence, network, 3)
+        isolated = run_streams_isolated(sources, platform)
+        unbatched = run_streams_unbatched(sources, platform)
+        assert unbatched.cost_mode == "profile"
+        for report in isolated.values():
+            assert report.cost_mode == "profile"
+        for report in unbatched.reports.values():
+            assert report.cost_mode == "profile"
+
+    @pytest.mark.parametrize("cost_mode", ["flat", "profile"])
+    def test_isolated_floor_brackets_shared_platform(
+        self, platform, sequence, network, cost_mode
+    ):
+        # Flat-vs-profile bracket audit: under either semantics the
+        # no-contention baseline is a per-stream latency floor for the
+        # shared (unbatched) platform — the bracket must survive the
+        # profile-mode flip, not just the seed's flat path.
+        from repro.baselines import run_streams_isolated, run_streams_unbatched
+
+        sources = make_sources(sequence, network, 4)
+        isolated = run_streams_isolated(sources, platform, cost_mode=cost_mode)
+        unbatched = run_streams_unbatched(sources, platform, cost_mode=cost_mode)
+        for source in sources:
+            floor = isolated[source.name].mean_latency
+            contended = unbatched.reports[source.name].mean_latency
+            assert floor > 0
+            assert contended >= floor - 1e-12
+
+    def test_stream_reports_record_simulator_cost_mode(
+        self, platform, sequence, network
+    ):
+        sources = make_sources(sequence, network, 2)
+        report = MultiStreamSimulator(
+            platform, sources, cost_mode="profile"
+        ).run()
+        for stream_report in report.reports.values():
+            assert stream_report.cost_mode == "profile"
+
+
 class TestSignatureServerMerging:
     def test_merged_latency_attributed_per_member_share(
         self, platform, sequence, network
