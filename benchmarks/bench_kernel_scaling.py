@@ -33,6 +33,17 @@ Environment knobs (used by the CI smoke job):
 * ``KERNEL_SCALING_SHARD_TIERS`` — comma-separated sharded fleet sizes
   (default ``4096,10240``; empty skips the sharded benchmark).
 * ``KERNEL_SCALING_SHARDS`` — worker shard count (default 4).
+* ``KERNEL_MEMORY_TIERS`` — comma-separated fleet sizes of the
+  memory-attribution tier (default ``1024,4096``; empty skips it).
+
+The memory-attribution tier (``test_kernel_memory_attribution``) compares
+the lazy arrival-cursor discipline against the eager horizon-wide oracle
+(``schedule_mode="eager"``): tracemalloc peak allocations and the kernel
+heap's high-water mark at each tier (``retain_records=False``, so queued
+events dominate), plus a doubled-horizon run showing the lazy heap is
+independent of horizon length while the eager heap tracks total frames.
+Its rows land in the same ``BENCH_kernel_scaling.json`` trajectory under
+``section="memory"``.
 
 Legacy baselines run only at tiers <= 256: the quadratic pending-list scans
 make a 1024-stream legacy run take minutes, which is the point of the
@@ -44,6 +55,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
+import tracemalloc
 
 import pytest
 
@@ -69,6 +81,13 @@ TIERS = _tiers("KERNEL_SCALING_TIERS", "64,256,1024")
 REPEATS = int(os.environ.get("KERNEL_SCALING_REPEATS", "3"))
 SHARD_TIERS = _tiers("KERNEL_SCALING_SHARD_TIERS", "4096,10240")
 SHARDS = int(os.environ.get("KERNEL_SCALING_SHARDS", "4"))
+MEMORY_TIERS = _tiers("KERNEL_MEMORY_TIERS", "1024,4096")
+# Lazy heap budget per active stream (one queued FrameReady + one StreamEnd
+# plus in-flight dispatch/completion events).
+MEMORY_HEAP_FACTOR = 4
+# Horizon-independence slack: doubling the horizon may jiggle the lazy
+# high-water by a few in-flight events, never track the doubled frame count.
+MEMORY_HORIZON_SLACK = 1.25
 # Largest tier the O(streams)/O(queue) legacy baselines are run at.
 LEGACY_TIER_CAP = 256
 FAMILIES = ("steady", "churn")
@@ -85,7 +104,7 @@ def _available_cores() -> int:
         return os.cpu_count() or 1
 
 
-def _fleet(family: str, num_streams: int):
+def _fleet(family: str, num_streams: int, duration: float = 0.2):
     """Compile one benchmark fleet through the scenario registry.
 
     The no-DSFA (``e2sf``) level sends every frame through the
@@ -93,10 +112,10 @@ def _fleet(family: str, num_streams: int):
     — and a deeper inference queue keeps the pending queues populated.
     """
     spec = ScenarioSpec(
-        name=f"kernel-scaling-{family}-{num_streams}",
+        name=f"kernel-scaling-{family}-{num_streams}-{duration}",
         family=family,
         num_streams=num_streams,
-        duration=0.2,
+        duration=duration,
         scale=0.06,
         seed=7,
         params={"optimization": "e2sf"},
@@ -151,8 +170,14 @@ def _reports_identical(a, b) -> bool:
 
 def test_kernel_scaling(benchmark):
     platform = jetson_xavier_agx()
+    # The baselines model pre-refactor checkouts, which had no lazy
+    # arrival cursors: they run eager-primed (the report-identity assert
+    # below then also pins the lazy-vs-eager equivalence across the
+    # kernel-structure axis).
     legacy_kwargs = dict(
-        kernel_factory=LegacyScanKernel, server_factory=LegacyListServer
+        kernel_factory=LegacyScanKernel,
+        server_factory=LegacyListServer,
+        schedule_mode="eager",
     )
 
     rows = []
@@ -240,6 +265,7 @@ def test_kernel_scaling(benchmark):
         "kernel_scaling",
         rows,
         meta={"tiers": list(TIERS), "repeats": REPEATS, "families": list(FAMILIES)},
+        section="scaling",
     )
 
 
@@ -332,4 +358,152 @@ def test_kernel_scaling_sharded(benchmark):
             "speedup_gate": SHARD_SPEEDUP_GATE,
             "gate_enforced": cores >= SHARDS,
         },
+    )
+
+
+def _traced_run(platform, sources, **sim_kwargs):
+    """One warmed, tracemalloc-attributed fleet run.
+
+    The warmup run renders every source cache (stacks, flat buffers,
+    arrival lists) so the measured run's peak attributes the *runtime* —
+    queued events, heap, pending queues — not the one-time render.
+    """
+    MultiStreamSimulator(platform, sources, **sim_kwargs).run()
+    tracemalloc.start()
+    try:
+        report = MultiStreamSimulator(platform, sources, **sim_kwargs).run()
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    return report, peak
+
+
+def test_kernel_memory_attribution():
+    """Memory attribution: lazy arrival cursors vs the eager oracle.
+
+    Gates: at the largest tier the lazy discipline's tracemalloc peak must
+    be strictly below eager (the horizon's FrameReady events dominate the
+    eager peak once records are off), every tier's lazy heap high-water
+    stays O(active streams) while eager's tracks total frames, and doubling
+    the horizon at the smallest tier leaves the lazy high-water flat.
+    """
+    if not MEMORY_TIERS:
+        pytest.skip("KERNEL_MEMORY_TIERS is empty")
+    platform = jetson_xavier_agx()
+    sim_kwargs = dict(retain_records=False)
+    base_duration = 0.2
+
+    rows = []
+    peaks = {}
+    marks = {}
+    for num_streams in MEMORY_TIERS:
+        sources = _fleet("steady", num_streams, duration=base_duration)
+        for mode in ("lazy", "eager"):
+            report, peak = _traced_run(
+                platform, sources, schedule_mode=mode, **sim_kwargs
+            )
+            peaks[num_streams, mode] = peak
+            marks[num_streams, mode, base_duration] = report.heap_high_water
+            rows.append(
+                {
+                    "family": "steady",
+                    "streams": num_streams,
+                    "schedule_mode": mode,
+                    "horizon_s": base_duration,
+                    "events": report.events_processed,
+                    "frames": report.frames_generated,
+                    "tracemalloc_peak_bytes": peak,
+                    "heap_high_water": report.heap_high_water,
+                }
+            )
+    # Horizon-independence probe: double the horizon at the smallest tier
+    # (heap high-water only — no warmup/tracemalloc pass needed).
+    horizon_streams = min(MEMORY_TIERS)
+    long_duration = base_duration * 2
+    sources = _fleet("steady", horizon_streams, duration=long_duration)
+    for mode in ("lazy", "eager"):
+        report = MultiStreamSimulator(
+            platform, sources, schedule_mode=mode, **sim_kwargs
+        ).run()
+        marks[horizon_streams, mode, long_duration] = report.heap_high_water
+        rows.append(
+            {
+                "family": "steady",
+                "streams": horizon_streams,
+                "schedule_mode": mode,
+                "horizon_s": long_duration,
+                "events": report.events_processed,
+                "frames": report.frames_generated,
+                "tracemalloc_peak_bytes": None,
+                "heap_high_water": report.heap_high_water,
+            }
+        )
+
+    print("\n=== Memory attribution: lazy cursors vs eager horizon prime ===")
+    print(
+        format_table(
+            rows,
+            [
+                "family",
+                "streams",
+                "schedule_mode",
+                "horizon_s",
+                "events",
+                "frames",
+                "tracemalloc_peak_bytes",
+                "heap_high_water",
+            ],
+        )
+    )
+    top = max(MEMORY_TIERS)
+    print(
+        f"{top}-stream tracemalloc peak: lazy={peaks[top, 'lazy']} B "
+        f"vs eager={peaks[top, 'eager']} B "
+        f"({peaks[top, 'eager'] / max(peaks[top, 'lazy'], 1):.2f}x)"
+    )
+
+    frames = {
+        (row["streams"], row["schedule_mode"], row["horizon_s"]): row["frames"]
+        for row in rows
+    }
+    # Gate 1: the lazy peak is strictly below eager at the largest tier —
+    # the horizon of queued FrameReady events is the allocation eager pays
+    # and lazy never makes.
+    assert peaks[top, "lazy"] < peaks[top, "eager"], (
+        f"lazy peak {peaks[top, 'lazy']} B must be < eager "
+        f"{peaks[top, 'eager']} B at {top} streams"
+    )
+    # Gate 2: heap high-water is O(active streams) lazily, O(total frames)
+    # eagerly, at every tier.
+    for num_streams in MEMORY_TIERS:
+        lazy_hw = marks[num_streams, "lazy", base_duration]
+        eager_hw = marks[num_streams, "eager", base_duration]
+        assert lazy_hw <= MEMORY_HEAP_FACTOR * num_streams, (
+            f"lazy heap high-water {lazy_hw} exceeds "
+            f"{MEMORY_HEAP_FACTOR}x{num_streams} streams"
+        )
+        assert eager_hw >= frames[num_streams, "eager", base_duration]
+        assert lazy_hw < eager_hw
+    # Gate 3: doubling the horizon leaves the lazy high-water flat while
+    # the eager one tracks the grown frame count.
+    lazy_short = marks[horizon_streams, "lazy", base_duration]
+    lazy_long = marks[horizon_streams, "lazy", long_duration]
+    assert lazy_long <= lazy_short * MEMORY_HORIZON_SLACK, (
+        f"lazy heap high-water grew with the horizon: "
+        f"{lazy_short} -> {lazy_long}"
+    )
+    assert (
+        marks[horizon_streams, "eager", long_duration]
+        >= marks[horizon_streams, "eager", base_duration] * 1.5
+    )
+    write_bench_json(
+        "kernel_scaling",
+        rows,
+        meta={
+            "tiers": list(MEMORY_TIERS),
+            "heap_factor": MEMORY_HEAP_FACTOR,
+            "horizon_slack": MEMORY_HORIZON_SLACK,
+            "retain_records": False,
+        },
+        section="memory",
     )

@@ -45,6 +45,7 @@ def write_bench_json(
     name: str,
     rows: List[Dict[str, object]],
     meta: Optional[Dict[str, object]] = None,
+    section: Optional[str] = None,
 ) -> str:
     """Write benchmark rows to ``BENCH_<name>.json`` and return the path.
 
@@ -57,6 +58,14 @@ def write_bench_json(
     (:func:`peak_rss_bytes`), so the trajectories track memory alongside
     throughput; rows that already carry a ``peak_rss_bytes`` key (e.g. one
     sampled mid-benchmark) keep their own value.
+
+    ``section`` lets several benchmark functions share one trajectory
+    file: each row is tagged ``{"section": section}``, rows of *other*
+    sections already in the file are kept, and ``meta`` is stored under
+    ``meta[section]`` — so e.g. the scaling and memory-attribution tiers
+    of the kernel benchmark land in the same ``BENCH_kernel_scaling.json``
+    no matter which test ran last (or ran at all, in a smoke job).
+    Without ``section`` the whole file is overwritten as before.
     """
     out_dir = os.environ.get("BENCH_JSON_DIR") or _REPO_ROOT
     path = os.path.join(out_dir, f"BENCH_{name}.json")
@@ -65,12 +74,40 @@ def write_bench_json(
         row if "peak_rss_bytes" in row else {**row, "peak_rss_bytes": rss}
         for row in rows
     ]
+    merged_meta: Dict[str, object] = {}
+    if section is not None:
+        rows = [{"section": section, **row} for row in rows]
+        kept: List[Dict[str, object]] = []
+        if os.path.exists(path):
+            try:
+                with open(path) as fh:
+                    existing = json.load(fh)
+                # Untagged rows are the pre-section schema: superseded
+                # wholesale, like the flat meta dict below.
+                kept = [
+                    row
+                    for row in existing.get("rows", [])
+                    if row.get("section") not in (None, section)
+                ]
+                prior_meta = existing.get("meta", {})
+                # Only section-keyed meta survives a merge: a flat meta dict
+                # from the pre-section schema describes rows being replaced.
+                if isinstance(prior_meta, dict) and all(
+                    isinstance(v, dict) for v in prior_meta.values()
+                ):
+                    merged_meta.update(prior_meta)
+            except (ValueError, OSError):
+                kept = []
+        rows = kept + rows
+        merged_meta[section] = meta or {}
+    else:
+        merged_meta = meta or {}
     payload = {
         "benchmark": name,
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count(),
-        "meta": meta or {},
+        "meta": merged_meta,
         "rows": rows,
     }
     with open(path, "w") as fh:

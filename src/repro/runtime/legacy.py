@@ -45,6 +45,17 @@ kernel_factory=LegacyScanKernel, server_factory=LegacyListServer)`` runs a
 fleet on the legacy path; ``benchmarks/bench_kernel_scaling.py`` uses the
 same hooks to report the refactor's speedup.
 
+One oracle deliberately does *not* live here: the eager horizon-wide
+arrival scheduler is selected with ``schedule_mode="eager"`` on
+:class:`~repro.runtime.streams.StreamClient` /
+:class:`~repro.runtime.streams.MultiStreamSimulator` rather than via a
+factory, because scheduling discipline is orthogonal to the data
+structures — the legacy kernel/server above inherit
+:meth:`~repro.runtime.sim.SimulationKernel.schedule` and
+:meth:`~repro.runtime.sim.SimulationKernel.reserve_sequences` unchanged and
+run under either discipline (heap high-water tracking included), so the
+equivalence grid composes freely across both axes.
+
 Like :func:`~repro.core.nmp.scheduler.ExecutionScheduler.schedule_reference`
 for the NMP fast path, this is deliberately unoptimized code kept for
 verification — do not use it in production clients.

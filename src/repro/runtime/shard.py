@@ -206,6 +206,11 @@ class EpochSummary:
     per-resource busy frontier — the platform-level occupancy exchange the
     barrier exists for.  Counters are cumulative since the start of the
     run; :func:`epoch_rows` differences them into per-epoch deltas.
+    ``heap_high_water`` is the shard kernel's peak event-heap population so
+    far — under lazy arrival cursors it stays O(the shard's active streams)
+    at every barrier, and pausing at a barrier cannot lose a stream's
+    cursor: the successor arrival is heaped *before* the current frame is
+    processed, so the next event is always queued when the epoch closes.
     """
 
     shard: int
@@ -215,6 +220,7 @@ class EpochSummary:
     inferences: int
     frames_dropped: int
     busy: Dict[str, float]
+    heap_high_water: int = 0
 
 
 def epoch_rows(summaries: Sequence[EpochSummary]) -> List[Dict[str, object]]:
@@ -236,9 +242,15 @@ def epoch_rows(summaries: Sequence[EpochSummary]) -> List[Dict[str, object]]:
                 "inferences": 0,
                 "frames_dropped": 0,
                 "shards": 0,
+                "heap_high_water": 0,
             },
         )
         row["t_end"] = max(row["t_end"], summary.t_end)
+        # Peak heap population is a max (not a delta): the row reports the
+        # worst shard's high-water mark as of that barrier.
+        row["heap_high_water"] = max(
+            row["heap_high_water"], summary.heap_high_water
+        )
         row["events"] += summary.events_processed - (prev.events_processed if prev else 0)
         row["inferences"] += summary.inferences - (prev.inferences if prev else 0)
         row["frames_dropped"] += summary.frames_dropped - (
@@ -264,6 +276,7 @@ def _summarize(shard_id, epoch, t_end, kernel, clients) -> EpochSummary:
         inferences=inferences,
         frames_dropped=dropped,
         busy=kernel.resource_busy_times(),
+        heap_high_water=kernel.heap_high_water,
     )
 
 

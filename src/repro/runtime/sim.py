@@ -116,6 +116,14 @@ class PipelineReport:
     report whose list was appended to directly (bypassing
     :meth:`add_records`) falls back to recomputing its aggregates from the
     records with the same sequential formulas.
+
+    ``record_limit`` bounds the retained list to the *most recent* N
+    records (oldest entries are discarded as new ones arrive) while the
+    streaming aggregates keep accounting every record — the middle ground
+    between full retention and ``keep_records=False`` for long-horizon
+    fleets that still want a tail of records for inspection.  A limited
+    report never takes the direct-mutation recompute fallback: its list is
+    intentionally shorter than ``_num_records``.
     """
 
     __slots__ = (
@@ -124,6 +132,7 @@ class PipelineReport:
         "frames_merged",
         "frames_dropped",
         "keep_records",
+        "record_limit",
         "cost_mode",
         "_num_records",
         "_latency_sum",
@@ -132,12 +141,17 @@ class PipelineReport:
         "_max_end_time",
     )
 
-    def __init__(self, keep_records: bool = True) -> None:
+    def __init__(
+        self, keep_records: bool = True, record_limit: Optional[int] = None
+    ) -> None:
+        if record_limit is not None and record_limit < 1:
+            raise ValueError("record_limit must be >= 1 or None")
         self.records: List[InferenceRecord] = []
         self.frames_generated = 0
         self.frames_merged = 0
         self.frames_dropped = 0
         self.keep_records = keep_records
+        self.record_limit = record_limit
         # Cost-stack semantics the run was costed under ("flat"/"profile");
         # stamped by the stream client, None until a cost model is attached.
         self.cost_mode: Optional[str] = None
@@ -158,6 +172,9 @@ class PipelineReport:
                 self._max_end_time = record.end_time
         if self.keep_records:
             self.records.extend(records)
+            limit = self.record_limit
+            if limit is not None and len(self.records) > limit:
+                del self.records[: len(self.records) - limit]
 
     def merge(self, other: "PipelineReport") -> "PipelineReport":
         """Combine two reports into a new one (shard-report composition).
@@ -168,7 +185,15 @@ class PipelineReport:
         result lean — the accumulators are the part that composes at fleet
         scale).  Neither input is mutated.
         """
-        merged = PipelineReport(keep_records=self.keep_records and other.keep_records)
+        limits = [
+            part.record_limit
+            for part in (self, other)
+            if part.record_limit is not None
+        ]
+        merged = PipelineReport(
+            keep_records=self.keep_records and other.keep_records,
+            record_limit=min(limits) if limits else None,
+        )
         merged.cost_mode = (
             self.cost_mode if self.cost_mode == other.cost_mode else "mixed"
         )
@@ -185,14 +210,23 @@ class PipelineReport:
                 merged._max_end_time = max_end
         if merged.keep_records:
             merged.records = self.records + other.records
+            limit = merged.record_limit
+            if limit is not None and len(merged.records) > limit:
+                del merged.records[: len(merged.records) - limit]
         return merged
 
     def _accumulators(self) -> Tuple[int, float, float, float, float]:
         """(count, latency_sum, energy_sum, occupancy_sum, max_end_time).
 
-        Recomputed from ``records`` when the list was mutated directly.
+        Recomputed from ``records`` when the list was mutated directly —
+        never for a ``record_limit``-bounded report, whose trimmed list is
+        legitimately shorter than the accounted record count.
         """
-        if self.keep_records and len(self.records) != self._num_records:
+        if (
+            self.keep_records
+            and self.record_limit is None
+            and len(self.records) != self._num_records
+        ):
             latency = energy = occupancy = max_end = 0.0
             for record in self.records:
                 latency += record.latency
@@ -441,7 +475,11 @@ class SimulationKernel:
 
     def __init__(self, trace: Optional[object] = None) -> None:
         self._heap: List[Tuple[float, int, int, SimEvent]] = []
-        self._seq = itertools.count()
+        # Plain int rather than itertools.count: lazy schedulers reserve
+        # contiguous sequence blocks up front (reserve_sequences), which an
+        # opaque counter cannot hand out.
+        self._seq = 0
+        self._heap_high_water = 0
         # Registration tokens order handlers globally; routes merge the
         # exact and wildcard lists by token.
         self._reg = itertools.count()
@@ -455,14 +493,45 @@ class SimulationKernel:
         self.trace = trace
 
     # -- scheduling ----------------------------------------------------
-    def schedule(self, event: SimEvent) -> None:
-        """Enqueue ``event``; scheduling into the past is a client bug."""
+    def schedule(self, event: SimEvent, seq: Optional[int] = None) -> None:
+        """Enqueue ``event``; scheduling into the past is a client bug.
+
+        ``seq`` is the event's FIFO tie-break within its ``(time, priority)``
+        class.  Left as ``None`` (the normal case) it is drawn from the
+        kernel's monotone counter at call time.  Lazy arrival schedulers pass
+        a sequence number pre-reserved via :meth:`reserve_sequences` so that
+        events scheduled *during* the run occupy exactly the heap slots the
+        eager oracle would have assigned at prime time — same-timestamp
+        ordering, and therefore every downstream report, stays bit-identical
+        between the two scheduling modes.
+        """
         if event.time < self.now - 1e-12:
             raise ValueError(
                 f"cannot schedule {type(event).__name__} at t={event.time} "
                 f"before kernel time t={self.now}"
             )
-        heapq.heappush(self._heap, (event.time, event.PRIORITY, next(self._seq), event))
+        if seq is None:
+            seq = self._seq
+            self._seq = seq + 1
+        heap = self._heap
+        heapq.heappush(heap, (event.time, event.PRIORITY, seq, event))
+        if len(heap) > self._heap_high_water:
+            self._heap_high_water = len(heap)
+
+    def reserve_sequences(self, count: int) -> int:
+        """Reserve ``count`` consecutive sequence numbers; return the first.
+
+        The caller owns ``[base, base + count)`` and stamps them onto events
+        via ``schedule(event, seq=base + i)``.  Reserving advances the
+        counter exactly as ``count`` immediate ``schedule`` calls would, so
+        every later auto-assigned sequence number is unchanged versus an
+        eager scheduler that enqueued the whole block up front.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        base = self._seq
+        self._seq = base + count
+        return base
 
     def on(
         self,
@@ -524,6 +593,17 @@ class SimulationKernel:
     def pending_events(self) -> int:
         """Number of events still queued."""
         return len(self._heap)
+
+    @property
+    def heap_high_water(self) -> int:
+        """Largest number of events ever queued at once.
+
+        The memory-plane health metric of the scheduling discipline: eager
+        horizon-wide priming pushes this to O(total frames in the fleet),
+        the lazy arrival cursors keep it at O(active streams) plus in-flight
+        dispatch/completion events — independent of horizon length.
+        """
+        return self._heap_high_water
 
     # -- resources -----------------------------------------------------
     def busy_until(self, *resources: str) -> float:

@@ -85,6 +85,7 @@ from .tracer import KernelTrace
 
 __all__ = [
     "DATAPLANES",
+    "SCHEDULE_MODES",
     "StreamSource",
     "StreamClient",
     "SerialExecutor",
@@ -114,6 +115,24 @@ __all__ = [
 #: whole-bucket re-merges, per-bucket reference merges).  Equivalence tests
 #: and ``benchmarks/bench_dataplane.py`` compare against it.
 DATAPLANES = ("stack", "frames", "reference")
+
+#: Arrival-scheduling disciplines.
+#:
+#: ``"lazy"`` (default) — per-stream arrival cursors: ``prime()`` schedules
+#: only the stream's *next* ``FrameReady`` and the frame handler
+#: self-reschedules the successor before processing, so the kernel heap
+#: holds at most one arrival per live stream (plus in-flight dispatch /
+#: completion events) — O(active streams) instead of O(total frames), and
+#: every heap operation pays a correspondingly smaller log factor.  Each
+#: stream pre-reserves its block of kernel sequence numbers
+#: (:meth:`~repro.runtime.sim.SimulationKernel.reserve_sequences`), so
+#: same-timestamp FIFO ordering — and therefore every report — is
+#: bit-identical to the eager oracle.
+#:
+#: ``"eager"`` — the pre-cursor discipline kept as the selectable oracle:
+#: every arrival of the horizon is heaped at prime time.  Equivalence tests
+#: and the memory-attribution benchmark tier compare against it.
+SCHEDULE_MODES = ("lazy", "eager")
 
 
 @dataclass
@@ -290,6 +309,12 @@ class StreamClient:
     columnar ``"stack"`` default schedules ``(stack, index)`` references
     and pushes indices into DSFA; ``"frames"`` / ``"reference"`` drive the
     per-frame oracle paths.  All three produce bit-identical reports.
+
+    ``schedule_mode`` selects the arrival discipline (:data:`SCHEDULE_MODES`):
+    the ``"lazy"`` default walks a per-stream cursor over the rendered
+    arrivals, keeping at most one of this stream's ``FrameReady`` events in
+    the kernel heap at any time; ``"eager"`` heaps the whole horizon at
+    prime time (the oracle).  Both produce bit-identical reports.
     """
 
     def __init__(
@@ -300,10 +325,17 @@ class StreamClient:
         cost_model: NetworkCostModel,
         keep_records: bool = True,
         dataplane: str = "stack",
+        schedule_mode: str = "lazy",
+        record_limit: Optional[int] = None,
     ) -> None:
         if dataplane not in DATAPLANES:
             raise ValueError(
                 f"unknown dataplane {dataplane!r}; expected one of {DATAPLANES}"
+            )
+        if schedule_mode not in SCHEDULE_MODES:
+            raise ValueError(
+                f"unknown schedule_mode {schedule_mode!r}; "
+                f"expected one of {SCHEDULE_MODES}"
             )
         self.source = source
         self.name = source.name
@@ -312,9 +344,22 @@ class StreamClient:
         self.cost_model = cost_model
         self.config = source.config
         self.dataplane = dataplane
+        self.schedule_mode = schedule_mode
         self.queue_depth = source.config.dsfa.inference_queue_depth
-        self.report = PipelineReport(keep_records=keep_records)
+        self.report = PipelineReport(
+            keep_records=keep_records, record_limit=record_limit
+        )
         self.report.cost_mode = cost_model.cost_mode
+        # Arrival-cursor state, populated by prime(): the rendered transport
+        # (stack or per-frame list, held on the client rather than closed
+        # over by queued events), the scheduled-prefix length, the next
+        # index to heap and the stream's reserved sequence-number base.
+        self._stack: Optional[FrameStack] = None
+        self._frame_seq: Optional[List[Tuple[float, SparseFrame]]] = None
+        self._arrivals: Optional[List[float]] = None
+        self._num_frames = 0
+        self._cursor = 0
+        self._seq_base = 0
         if not source.config.optimization.uses_dsfa:
             self.aggregator = None
         elif dataplane == "reference":
@@ -332,40 +377,77 @@ class StreamClient:
         kernel.on(StreamEnd, self._on_stream_end, stream=self.name)
 
     # ------------------------------------------------------------------
+    def _arrival(self, index: int) -> float:
+        """Arrival time of frame ``index`` of the rendered transport."""
+        if self._arrivals is not None:
+            return self._arrivals[index]
+        return self._frame_seq[index][0]
+
+    def _frame_event(self, index: int) -> FrameReady:
+        """Build the ``FrameReady`` for frame ``index`` on this transport."""
+        if self._stack is not None:
+            return FrameReady(
+                time=self._arrivals[index],
+                stream=self.name,
+                stack=self._stack,
+                index=index,
+            )
+        arrival, frame = self._frame_seq[index]
+        return FrameReady(time=arrival, stream=self.name, frame=frame)
+
     def prime(self) -> None:
         """Schedule the stream's frame arrivals and end-of-stream flush.
 
         On the ``"stack"`` data plane the scheduled ``FrameReady`` events
         carry ``(stack, index)`` references straight out of the rendered
-        stack — no frame objects are built.  ``StreamEnd`` is scheduled even
-        for a stream that generates no frames (an empty sequence, or a churn
-        window that closes before the first arrival): leave-side consumers —
-        remap triggers, traces, per-stream accounting — rely on every stream
+        stack — no frame objects are built; on the per-frame transports the
+        rendered ``(arrival, frame)`` list is held on the client cursor and
+        consumed index by index rather than closed over wholesale by queued
+        events.  In ``"lazy"`` mode only the *first* arrival is heaped (the
+        handler self-reschedules successors) after reserving the stream's
+        contiguous sequence-number block, so heap ordering matches the eager
+        oracle exactly.  ``StreamEnd`` is scheduled even for a stream that
+        generates no frames (an empty sequence, or a churn window that
+        closes before the first arrival): leave-side consumers — remap
+        triggers, traces, per-stream accounting — rely on every stream
         announcing its end.
         """
         if self.dataplane == "stack":
             stack, _ = self.source.generate_stack()
+            self._stack = stack
+            self._frame_seq = None
+            self._arrivals = self.source.arrival_times()
             count = 0 if stack is None else len(stack)
-            self.report.frames_generated += count
-            arrival_times = self.source.arrival_times()
-            for i in range(count):
-                self.kernel.schedule(
-                    FrameReady(
-                        time=arrival_times[i],
-                        stream=self.name,
-                        stack=stack,
-                        index=i,
-                    )
-                )
-            last_arrival = arrival_times[-1] if count else self.source.start_offset
         else:
-            frames = self.source.generate_frames()
-            self.report.frames_generated += len(frames)
-            for arrival, frame in frames:
-                self.kernel.schedule(
-                    FrameReady(time=arrival, stream=self.name, frame=frame)
-                )
-            last_arrival = frames[-1][0] if frames else self.source.start_offset
+            self._stack = None
+            self._frame_seq = self.source.generate_frames()
+            self._arrivals = None
+            count = len(self._frame_seq)
+        stop = self.source.stop_time
+        if self.schedule_mode == "lazy" and stop is not None:
+            # Churn guard: the cursor must never advance past the stop
+            # window.  Rendered arrivals are already prefix-cut against
+            # stop_time (a searchsorted on the non-decreasing column), so
+            # this normally trims nothing — but a transport whose cache was
+            # seeded out of band keeps the invariant that no frame is
+            # scheduled after the stream left the platform.
+            while count and self._arrival(count - 1) > stop:
+                count -= 1
+        self._num_frames = count
+        self.report.frames_generated += count
+        last_arrival = self._arrival(count - 1) if count else self.source.start_offset
+        if self.schedule_mode == "eager":
+            self._cursor = count
+            for i in range(count):
+                self.kernel.schedule(self._frame_event(i))
+        else:
+            # Reserve the whole block even though only arrival 0 is heaped:
+            # the successors stamped with base + i land on exactly the
+            # (time, priority, seq) slots the eager path would have used.
+            self._seq_base = self.kernel.reserve_sequences(count)
+            self._cursor = 1 if count else 0
+            if count:
+                self.kernel.schedule(self._frame_event(0), seq=self._seq_base)
         # The last bin's computed t_end can differ from the final grayscale
         # timestamp by a few ulps; the flush must still come after every
         # frame arrival.
@@ -390,6 +472,16 @@ class StreamClient:
 
     # ------------------------------------------------------------------
     def _on_frame(self, event: FrameReady) -> None:
+        cursor = self._cursor
+        if cursor < self._num_frames:
+            # Lazy cursor: heap the successor *before* processing, so an
+            # epoch barrier pausing the kernel mid-stream always finds the
+            # next arrival already queued (eager mode primes everything up
+            # front and never enters this branch).
+            self._cursor = cursor + 1
+            self.kernel.schedule(
+                self._frame_event(cursor), seq=self._seq_base + cursor
+            )
         arrival = event.time
         if self.aggregator is not None:
             hardware_available = arrival >= self.executor.busy_until(self)
@@ -646,6 +738,10 @@ class MultiStreamReport:
     cost_mode: str = "flat"
     shards: int = 1
     epochs: Optional[list] = None
+    # Largest simultaneous kernel-heap population of the run (the max over
+    # shards for a sharded run): the observable the lazy scheduling
+    # discipline bounds at O(active streams).
+    heap_high_water: int = 0
 
     @property
     def num_streams(self) -> int:
@@ -764,6 +860,7 @@ class MultiStreamReport:
             cost_mode=self.cost_mode,
             shards=self.shards + other.shards,
             epochs=epochs,
+            heap_high_water=max(self.heap_high_water, other.heap_high_water),
         )
 
     @classmethod
@@ -826,6 +923,18 @@ class MultiStreamSimulator:
         (default).  ``False`` keeps only the streaming aggregates — the
         memory-lean mode for very large fleets; traces still work, but
         per-record analyses need the default.
+    record_limit:
+        With ``retain_records=True``, bound every stream's retained record
+        list to its most recent N :class:`~repro.runtime.sim.
+        InferenceRecord` entries (``None`` = unbounded).  The streaming
+        aggregates keep accounting every record, so report-level statistics
+        are unchanged — only the inspectable tail is capped.
+    schedule_mode:
+        Arrival-scheduling discipline shared by every stream
+        (:data:`SCHEDULE_MODES`).  ``"lazy"`` (default) walks per-stream
+        arrival cursors — the kernel heap stays O(active streams);
+        ``"eager"`` heaps the whole horizon at prime time, kept as the
+        equivalence oracle.  Both produce bit-identical reports.
     shards:
         Number of worker kernels the fleet is partitioned across
         (default 1 = the in-process path, bit-identical to the unsharded
@@ -888,8 +997,10 @@ class MultiStreamSimulator:
         max_merge_streams: int = 4,
         remap_policy: Optional[RemapPolicy] = None,
         retain_records: bool = True,
+        record_limit: Optional[int] = None,
         cost_mode: str = "flat",
         dataplane: str = "stack",
+        schedule_mode: str = "lazy",
         kernel_factory: Optional[Callable[..., SimulationKernel]] = None,
         server_factory: Optional[Callable[..., SignatureServer]] = None,
         cost_model_factory: Optional[Callable[..., NetworkCostModel]] = None,
@@ -911,6 +1022,13 @@ class MultiStreamSimulator:
             raise ValueError(
                 f"unknown dataplane {dataplane!r}; expected one of {DATAPLANES}"
             )
+        if schedule_mode not in SCHEDULE_MODES:
+            raise ValueError(
+                f"unknown schedule_mode {schedule_mode!r}; "
+                f"expected one of {SCHEDULE_MODES}"
+            )
+        if record_limit is not None and record_limit < 1:
+            raise ValueError("record_limit must be >= 1 or None")
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.shards = shards
@@ -926,8 +1044,10 @@ class MultiStreamSimulator:
             max_merge_streams=max_merge_streams,
             remap_policy=remap_policy,
             retain_records=retain_records,
+            record_limit=record_limit,
             cost_mode=cost_mode,
             dataplane=dataplane,
+            schedule_mode=schedule_mode,
             kernel_factory=kernel_factory,
             server_factory=server_factory,
             cost_model_factory=cost_model_factory,
@@ -940,8 +1060,10 @@ class MultiStreamSimulator:
         self.max_merge_streams = max_merge_streams
         self.remap_policy = remap_policy
         self.retain_records = retain_records
+        self.record_limit = record_limit
         self.cost_mode = cost_mode
         self.dataplane = dataplane
+        self.schedule_mode = schedule_mode
         self.kernel_factory = kernel_factory or SimulationKernel
         self.server_factory = server_factory or SignatureServer
         self.cost_model_factory = cost_model_factory or NetworkCostModel
@@ -1075,6 +1197,8 @@ class MultiStreamSimulator:
                     cost_model=cost_models[signature],
                     keep_records=self.retain_records,
                     dataplane=self.dataplane,
+                    schedule_mode=self.schedule_mode,
+                    record_limit=self.record_limit,
                 )
             )
         remaps_before = 0
@@ -1112,4 +1236,5 @@ class MultiStreamSimulator:
             start_time=min(s.start_offset for s in self.sources),
             events_processed=kernel.events_processed,
             cost_mode=self.cost_mode,
+            heap_high_water=kernel.heap_high_water,
         )

@@ -13,7 +13,9 @@ Two tracing surfaces live here:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, List, Optional
 
 from ..core.nmp.scheduler import ScheduledNode, ScheduleResult
@@ -54,8 +56,11 @@ class KernelTrace:
     Parameters
     ----------
     max_events:
-        Bound on retained entries (later events only count
-        ``dropped_entries``).
+        Ring-buffer bound on retained entries: the trace keeps the **last**
+        ``max_events`` processed events and counts every older entry pushed
+        out (or never retained) in ``entries_dropped`` — a long-horizon run
+        always ends with its newest activity inspectable under a fixed
+        memory cap.  ``None`` (the default) retains everything.
     record_details:
         Format each event's payload summary (the default).  ``False`` skips
         the per-event string formatting — the expensive part of tracing a
@@ -68,16 +73,27 @@ class KernelTrace:
     ) -> None:
         if max_events is not None and max_events < 1:
             raise ValueError("max_events must be >= 1 or None")
-        self.entries: List[TraceEntry] = []
+        # A bounded trace is a deque ring (appends past the cap evict the
+        # oldest entry in O(1)); an unbounded trace stays a plain list.
+        self.entries = [] if max_events is None else deque(maxlen=max_events)
         self.max_events = max_events
         self.record_details = record_details
-        self.dropped_entries = 0
+        self.entries_dropped = 0
+
+    @property
+    def dropped_entries(self) -> int:
+        """Backward-compatible alias of :attr:`entries_dropped`."""
+        return self.entries_dropped
 
     def record(self, event) -> None:
-        """Append one kernel event (called by the kernel itself)."""
-        if self.max_events is not None and len(self.entries) >= self.max_events:
-            self.dropped_entries += 1
-            return
+        """Append one kernel event (called by the kernel itself).
+
+        A full ring buffer evicts its oldest entry to make room and bumps
+        ``entries_dropped`` — the newest ``max_events`` events are always
+        the ones retained.
+        """
+        if self.max_events is not None and len(self.entries) == self.max_events:
+            self.entries_dropped += 1
         profile = getattr(event, "profile", None)
         self.entries.append(
             TraceEntry(
@@ -139,15 +155,18 @@ class KernelTrace:
         return f"occ[{'>'.join(shown)} x{len(profile)}]"
 
     def format_log(self, max_rows: int = 40) -> str:
-        """Render the first ``max_rows`` entries as an aligned event log.
+        """Render the first ``max_rows`` retained entries as an event log.
 
         Inference completions that carried a resolved occupancy profile
         get a compact per-dispatch profile column after the detail text.
+        For a saturated ring buffer the retained window is the run's tail,
+        so the log shows the oldest *retained* events and reports both the
+        ring-evicted and beyond-``max_rows`` counts as hidden.
         """
         if not self.entries:
             return "(empty trace)"
         lines = []
-        for entry in self.entries[:max_rows]:
+        for entry in islice(self.entries, max_rows):
             detail = entry.detail
             if entry.profile is not None:
                 column = self._format_profile(entry.profile)
@@ -156,7 +175,7 @@ class KernelTrace:
                 f"{entry.time * 1e3:10.3f} ms  {entry.kind:<14s} "
                 f"{entry.stream:<24s} {detail}"
             )
-        hidden = max(len(self.entries) - max_rows, 0) + self.dropped_entries
+        hidden = max(len(self.entries) - max_rows, 0) + self.entries_dropped
         if hidden > 0:
             lines.append(f"... {hidden} more events")
         return "\n".join(lines)

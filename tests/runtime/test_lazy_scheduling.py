@@ -1,0 +1,329 @@
+"""Lazy arrival-cursor scheduling: equivalence, churn cuts and heap bounds.
+
+The scheduling refactor must be *provably report-identical*: with
+``schedule_mode="lazy"`` (the default) each stream keeps at most one queued
+``FrameReady`` — the handler self-reschedules the successor onto a
+pre-reserved kernel sequence number — and the resulting
+``MultiStreamReport`` must be bit-identical to the eager horizon-wide
+oracle (``schedule_mode="eager"``) across every scenario family, every
+data plane and the sharded runtime.  The payoff the suite pins alongside
+the equivalence: the kernel heap's high-water mark scales with *active
+streams* under lazy scheduling and with *total frames* under eager.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.core  # noqa: F401  (import order: runtime pulls core.nmp lazily)
+from repro.hw import jetson_xavier_agx
+from repro.runtime import (
+    DATAPLANES,
+    SCHEDULE_MODES,
+    KernelTrace,
+    MultiStreamSimulator,
+    SimulationKernel,
+)
+from repro.runtime.sim import FrameReady, PipelineReport
+from repro.scenarios import default_registry
+
+from test_kernel_equivalence import assert_reports_identical
+
+SMALL = dict(num_streams=3, duration=0.3, scale=0.1, num_bins=4)
+
+# Lazy heap budget per active stream: one queued FrameReady + one StreamEnd
+# per live stream, plus in-flight dispatch / completion / eviction events.
+HEAP_FACTOR = 4
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return jetson_xavier_agx()
+
+
+def _run(platform, sources, **kwargs):
+    return MultiStreamSimulator(platform, sources, **kwargs).run()
+
+
+class TestLazyEagerEquivalence:
+    def test_modes_are_registered(self):
+        assert SCHEDULE_MODES == ("lazy", "eager")
+        with pytest.raises(ValueError, match="schedule_mode"):
+            MultiStreamSimulator(
+                jetson_xavier_agx(),
+                default_registry().compile("steady", **SMALL),
+                schedule_mode="speculative",
+            )
+
+    def test_all_families_all_dataplanes_bit_identical(self, registry, platform):
+        assert len(registry.families()) >= 6
+        for family in registry.families():
+            sources = registry.compile(family, **SMALL)
+            for dataplane in DATAPLANES:
+                lazy = _run(platform, sources, dataplane=dataplane)
+                eager = _run(
+                    platform, sources, dataplane=dataplane, schedule_mode="eager"
+                )
+                assert lazy.events_processed == eager.events_processed, (
+                    family,
+                    dataplane,
+                )
+                assert_reports_identical(lazy, eager)
+                # The equivalence is not vacuous: lazy runs kept strictly
+                # fewer events queued than the horizon-wide prime.
+                assert lazy.heap_high_water < eager.heap_high_water, (
+                    family,
+                    dataplane,
+                )
+
+    def test_two_shard_process_mode_bit_identical(self, registry, platform):
+        sources = registry.compile(
+            "mixed_fleet", **{**SMALL, "num_streams": 8}
+        )
+        kwargs = dict(shards=2, shard_mode="process")
+        lazy = _run(platform, sources, **kwargs)
+        eager = _run(platform, sources, schedule_mode="eager", **kwargs)
+        assert lazy.shards == 2
+        assert_reports_identical(lazy, eager)
+        # Epoch pause/resume must not lose a cursor: every barrier row saw
+        # a bounded heap, and frames kept flowing after the first barrier.
+        assert lazy.epochs is not None
+        assert max(s.heap_high_water for s in lazy.epochs) <= HEAP_FACTOR * 8
+        assert lazy.frames_generated == eager.frames_generated
+
+    def test_mid_run_handler_registration_matches_eager_delivery(self):
+        """PR-4 routing regression, lazy edition: a handler registered
+        mid-run (while successors are still being scheduled with reserved
+        sequence numbers) sees exactly the deliveries the eager prime
+        produces."""
+        times = [0.0, 0.1, 0.1, 0.2]
+
+        def drive(lazy: bool):
+            kernel = SimulationKernel()
+            seen = []
+            state = {"cursor": 0, "base": 0}
+
+            def on_frame(event):
+                cursor = state["cursor"]
+                if lazy and cursor < len(times):
+                    state["cursor"] = cursor + 1
+                    kernel.schedule(
+                        FrameReady(time=times[cursor], stream="s"),
+                        seq=state["base"] + cursor,
+                    )
+                seen.append(("frame", event.time))
+                if len(seen) == 1:  # register a second handler mid-run
+                    kernel.on(
+                        FrameReady,
+                        lambda e: seen.append(("late", e.time)),
+                        stream="s",
+                    )
+
+            kernel.on(FrameReady, on_frame, stream="s")
+            if lazy:
+                state["base"] = kernel.reserve_sequences(len(times))
+                state["cursor"] = 1
+                kernel.schedule(
+                    FrameReady(time=times[0], stream="s"), seq=state["base"]
+                )
+            else:
+                for t in times:
+                    kernel.schedule(FrameReady(time=t, stream="s"))
+            kernel.run()
+            return seen
+
+        assert drive(lazy=True) == drive(lazy=False)
+
+
+class TestChurnCursorCut:
+    def test_churn_frame_counts_match_searchsorted_prefix_cut(
+        self, registry, platform
+    ):
+        """Satellite fix: a stop_time that closes before later arrivals must
+        stop the cursor exactly at the eager path's searchsorted cut."""
+        sources = registry.compile("churn", **{**SMALL, "num_streams": 6})
+        churned = [s for s in sources if s.stop_time is not None]
+        assert churned, "churn family must produce stop_time windows"
+        lazy = _run(platform, sources)
+        eager = _run(platform, sources, schedule_mode="eager")
+        for source in sources:
+            if source.stop_time is None:
+                continue
+            # The oracle cut, computed on the *uncut* arrivals column
+            # (dataclasses.replace re-inits the render caches, so the
+            # replacement renders the open window from scratch).
+            open_source = dataclasses.replace(source, stop_time=None)
+            _, arrivals = open_source.generate_stack()
+            expected = int(
+                np.searchsorted(arrivals, source.stop_time, side="right")
+            )
+            assert lazy.reports[source.name].frames_generated == expected, (
+                source.name
+            )
+            assert eager.reports[source.name].frames_generated == expected, (
+                source.name
+            )
+        assert_reports_identical(lazy, eager)
+
+    def test_doctored_cache_never_schedules_past_stop_window(self, registry):
+        """A transport whose cached arrivals extend past a (later-imposed)
+        stop_time must not advance the cursor into the closed window."""
+        source = registry.compile("steady", **SMALL)[0]
+        _, arrivals = source.generate_stack()  # render with no stop window
+        assert len(arrivals) >= 4
+        stop = float(arrivals[len(arrivals) // 2])
+        keep = int(np.searchsorted(arrivals, stop, side="right"))
+        # Impose the window *after* the render: the cached stack and
+        # arrivals column still carry the post-stop tail.
+        source.stop_time = stop
+
+        platform = jetson_xavier_agx()
+        trace = KernelTrace()
+        simulator = MultiStreamSimulator(platform, [source])
+        report = simulator.run(trace=trace)
+        assert report.reports[source.name].frames_generated == keep
+        frame_times = [
+            e.time for e in trace.entries if e.kind == "FrameReady"
+        ]
+        assert len(frame_times) == keep
+        assert all(t <= stop for t in frame_times)
+
+
+class TestHeapHighWater:
+    def test_steady_fleet_heap_scales_with_streams_not_frames(self, registry):
+        streams = 256
+        sources = registry.compile(
+            "steady",
+            num_streams=streams,
+            duration=0.2,
+            scale=0.06,
+            num_bins=4,
+        )
+        platform = jetson_xavier_agx()
+        lazy = _run(platform, sources)
+        eager = _run(platform, sources, schedule_mode="eager")
+        assert lazy.frames_generated == eager.frames_generated
+        assert lazy.frames_generated > HEAP_FACTOR * streams
+        # Lazy: O(active streams).  Eager: the whole horizon is queued.
+        assert lazy.heap_high_water <= HEAP_FACTOR * streams
+        assert eager.heap_high_water >= eager.frames_generated
+        assert lazy.heap_high_water < eager.heap_high_water
+
+    def test_lazy_heap_is_horizon_independent(self, registry):
+        platform = jetson_xavier_agx()
+        marks = {}
+        for duration in (0.2, 0.4):
+            sources = registry.compile(
+                "steady", num_streams=32, duration=duration, scale=0.06, num_bins=4
+            )
+            marks[duration] = {
+                mode: _run(platform, sources, schedule_mode=mode).heap_high_water
+                for mode in SCHEDULE_MODES
+            }
+        # Doubling the horizon must not grow the lazy heap (beyond event
+        # jitter), while the eager heap tracks the doubled frame count.
+        assert marks[0.4]["lazy"] <= marks[0.2]["lazy"] * 1.25
+        assert marks[0.4]["eager"] >= marks[0.2]["eager"] * 1.5
+
+
+class TestBoundedRetention:
+    def test_trace_ring_buffer_keeps_exactly_the_last_n(self, registry):
+        sources = registry.compile("steady", **SMALL)
+        platform = jetson_xavier_agx()
+        full = KernelTrace()
+        MultiStreamSimulator(platform, sources).run(trace=full)
+        assert len(full) > 32
+        ring = KernelTrace(max_events=32)
+        MultiStreamSimulator(platform, sources).run(trace=ring)
+        assert len(ring) == 32
+        assert list(ring.entries) == full.entries[-32:]
+        assert ring.entries_dropped == len(full) - 32
+        assert ring.dropped_entries == ring.entries_dropped  # compat alias
+        assert f"... {ring.entries_dropped} more events" in ring.format_log(
+            max_rows=32
+        )
+
+    def test_record_limit_keeps_aggregates_and_trims_to_tail(self, registry):
+        sources = registry.compile("steady", **SMALL)
+        platform = jetson_xavier_agx()
+        full = _run(platform, sources)
+        capped = _run(platform, sources, record_limit=2)
+        for name, report in full.reports.items():
+            trimmed = capped.reports[name]
+            # Streaming aggregates are unperturbed by the cap...
+            assert trimmed.num_inferences == report.num_inferences
+            assert trimmed.mean_latency == report.mean_latency
+            assert trimmed.total_energy == report.total_energy
+            assert trimmed.total_time == report.total_time
+            # ...while the retained list is the most recent tail.
+            assert trimmed.records == report.records[-2:]
+        assert capped.mean_latency == full.mean_latency
+
+    def test_record_limit_survives_merge(self):
+        left = PipelineReport(record_limit=3)
+        right = PipelineReport()
+        for report, lat in ((left, 1.0), (right, 2.0)):
+            for i in range(4):
+                from repro.runtime.sim import InferenceRecord
+
+                report.add_records(
+                    [
+                        InferenceRecord(
+                            dispatch_time=i * lat,
+                            start_time=i * lat,
+                            end_time=i * lat + lat,
+                            num_frames=1,
+                            occupancy=0.1,
+                            energy=0.5,
+                        )
+                    ]
+                )
+        assert len(left.records) == 3 and left.num_inferences == 4
+        merged = left.merge(right)
+        assert merged.record_limit == 3
+        assert len(merged.records) == 3
+        assert merged.num_inferences == 8  # accumulators account everything
+
+    def test_record_limit_validation(self, registry):
+        with pytest.raises(ValueError, match="record_limit"):
+            PipelineReport(record_limit=0)
+        with pytest.raises(ValueError, match="record_limit"):
+            MultiStreamSimulator(
+                jetson_xavier_agx(),
+                registry.compile("steady", **SMALL),
+                record_limit=0,
+            )
+
+
+class TestFramesPlaneCursor:
+    def test_frames_plane_holds_sequence_on_client_not_in_events(
+        self, registry, platform
+    ):
+        """Satellite fix: on the per-frame transports the rendered list
+        lives on the client cursor; in lazy mode the heap never holds more
+        than one of the stream's frames at a time."""
+        sources = registry.compile("steady", **SMALL)
+        simulator = MultiStreamSimulator(platform, sources, dataplane="frames")
+        kernel, clients, _ = simulator._setup(None)
+        for client in clients:
+            assert client._frame_seq is not None
+            assert client._stack is None
+        # At prime time the heap holds one FrameReady + one StreamEnd per
+        # stream — not the horizon.
+        total_frames = sum(c._num_frames for c in clients)
+        assert total_frames > 2 * len(clients)
+        assert kernel.pending_events == 2 * len(clients)
+        end_time = kernel.run()
+        report = simulator._finalize(kernel, clients, 0, None, end_time)
+        eager = _run(
+            platform, sources, dataplane="frames", schedule_mode="eager"
+        )
+        assert_reports_identical(report, eager)
